@@ -1,0 +1,37 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_*`` file regenerates one experiment from DESIGN.md's index
+(F1, E1..E8): it *measures* with the ``benchmark`` fixture and *checks
+the shape* of the paper's claim with plain assertions, printing the
+table rows the experiment reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+
+def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Print an experiment's result rows as an aligned table."""
+    print(f"\n--- {title} ---")
+    if not rows:
+        print("(no rows)")
+        return
+    headers: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    widths = {
+        h: max(len(h), *(len(str(r.get(h, ""))) for r in rows))
+        for h in headers
+    }
+    print("  ".join(h.ljust(widths[h]) for h in headers))
+    print("  ".join("-" * widths[h] for h in headers))
+    for row in rows:
+        print("  ".join(
+            str(row.get(h, "")).ljust(widths[h]) for h in headers
+        ))

@@ -1,0 +1,114 @@
+"""A1 — kernel design-choice ablations (DESIGN.md §5).
+
+The kernel choices that set the whole stack's simulation-speed budget:
+
+* **process flavour** — method (callback) vs thread (generator) process
+  activation cost: a method activation is one call, a thread activation
+  resumes a coroutine and re-arms a wait, so clocked models built from
+  method processes should be measurably cheaper;
+* **notification flavour** — immediate vs delta vs timed event
+  notification cost per wake-up;
+* **channel data discipline** — covered by E7 (zero-copy ablation).
+
+These numbers justify the implementation guidance in the module docs
+(use method processes for per-cycle RTL, thread processes for
+transaction behaviour).
+"""
+
+import pytest
+
+from repro.kernel import Clock, Event, Module, SimContext, ns, us
+
+ACTIVATIONS = 2_000
+
+
+def run_method_process():
+    """A clocked counter as a method process."""
+    ctx = SimContext()
+    top = Module("top", ctx=ctx)
+    clk = Clock("clk", top, period=ns(10))
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] >= ACTIVATIONS:
+            ctx.stop()
+
+    ctx.register_method(tick, "tick", sensitive=[clk.posedge_event],
+                        dont_initialize=True)
+    ctx.run(us(100_000))
+    assert count[0] >= ACTIVATIONS
+    return ctx
+
+
+def run_thread_process():
+    """The same clocked counter as a thread process."""
+    ctx = SimContext()
+    top = Module("top", ctx=ctx)
+    clk = Clock("clk", top, period=ns(10))
+    count = [0]
+
+    def body():
+        edge = clk.posedge_event
+        while count[0] < ACTIVATIONS:
+            yield edge
+            count[0] += 1
+        ctx.stop()
+
+    ctx.register_thread(body, "tick")
+    ctx.run(us(100_000))
+    assert count[0] >= ACTIVATIONS
+    return ctx
+
+
+def test_a1_method_process_activation(benchmark):
+    benchmark(run_method_process)
+
+
+def test_a1_thread_process_activation(benchmark):
+    benchmark(run_thread_process)
+
+
+def _ping_pong(notify_style: str, rounds: int = 2_000):
+    """Two processes exchanging wake-ups with the given notification."""
+    ctx = SimContext()
+    e1, e2 = Event(ctx, "e1"), Event(ctx, "e2")
+    count = [0]
+
+    def notify(event):
+        if notify_style == "immediate":
+            event.notify()
+        elif notify_style == "delta":
+            event.notify_delta()
+        else:
+            event.notify_after(ns(1))
+
+    def ping():
+        while count[0] < rounds:
+            yield e1
+            count[0] += 1
+            notify(e2)
+
+    def pong():
+        while True:
+            yield e2
+            notify(e1)
+
+    def kick():
+        if False:
+            yield
+        notify(e1)
+
+    ctx.register_thread(ping, "ping")
+    ctx.register_thread(pong, "pong")
+    ctx.register_thread(kick, "kick")
+    ctx.max_deltas_per_timestep = 10 * rounds
+    ctx.run(us(100_000))
+    assert count[0] >= rounds
+    return ctx
+
+
+@pytest.mark.parametrize("style", ["immediate", "delta", "timed"])
+def test_a1_notification_cost(benchmark, style):
+    ctx = benchmark(lambda: _ping_pong(style))
+    benchmark.extra_info["delta_cycles"] = ctx.delta_count

@@ -1,0 +1,131 @@
+"""E3 — communication architecture exploration with the CAM library (§3).
+
+The paper's CAM library exists so a designer can sweep candidate
+architectures quickly and pick by measured latency/throughput.  This
+benchmark regenerates the exploration table for the standard
+workloads over {PLB, OPB, generic bus, crossbar} x {static-priority,
+round-robin} and checks the shapes a CoreConnect designer expects:
+
+* the crossbar never loses to the generic shared bus on latency for
+  disjoint-region traffic;
+* the pipelined, split-R/W PLB beats the non-pipelined generic bus on
+  the streaming (DMA) workload;
+* exploration is fast: a whole design point simulates in well under a
+  second of wall clock.
+"""
+
+import pytest
+
+from repro.kernel import ns
+from repro.explore import (
+    DesignSpace,
+    explore,
+    pareto_front,
+    standard_workloads,
+)
+
+from _util import print_table
+
+SPACE = DesignSpace(
+    fabrics=("plb", "opb", "ahb", "generic", "crossbar"),
+    arbiters=("static-priority", "round-robin"),
+    clock_periods=(ns(10),),
+    max_bursts=(16,),
+)
+
+
+def sweep(workload_name):
+    specs = standard_workloads()[workload_name]
+    return explore(SPACE, specs, workload_name=workload_name)
+
+
+@pytest.mark.parametrize("workload", sorted(standard_workloads()))
+def test_e3_sweep_benchmark(benchmark, workload):
+    """Wall-clock cost of exploring the full space on one workload."""
+    results = benchmark.pedantic(
+        lambda: sweep(workload), rounds=1, iterations=1
+    )
+    assert len(results) == len(SPACE)
+    benchmark.extra_info["points"] = len(results)
+
+
+def test_e3_exploration_table(benchmark):
+    all_results = benchmark.pedantic(
+        lambda: {w: sweep(w) for w in standard_workloads()},
+        rounds=1, iterations=1,
+    )
+    for workload, results in all_results.items():
+        rows = [r.as_row() for r in results]
+        front = pareto_front(results)
+        print_table(f"E3: exploration, workload={workload}", rows)
+        print("pareto: " + ", ".join(r.config.name for r in front))
+
+        by_key = {
+            (r.config.fabric, r.config.arbiter): r for r in results
+        }
+        for arbiter in ("static-priority", "round-robin"):
+            xbar = by_key[("crossbar", arbiter)]
+            shared = by_key[("generic", arbiter)]
+            assert (xbar.mean_latency_ns
+                    <= shared.mean_latency_ns * 1.01), (
+                f"{workload}/{arbiter}: crossbar lost to shared bus"
+            )
+        # every design point finished its workload without errors
+        assert all(r.all_done for r in results)
+        # exploration speed: each point well under a second
+        assert all(r.wall_seconds < 1.0 for r in results)
+
+    # PLB pipelining pays off on streaming DMA traffic
+    dma = {
+        (r.config.fabric, r.config.arbiter): r
+        for r in all_results["dma_stream"]
+    }
+    assert (dma[("plb", "static-priority")].mean_latency_ns
+            < dma[("generic", "static-priority")].mean_latency_ns)
+    # and buys throughput too
+    assert (dma[("plb", "static-priority")].throughput_mbps
+            > dma[("generic", "static-priority")].throughput_mbps)
+    # the PLB-vs-AHB structural difference (split R/W data paths vs a
+    # single shared one) shows on the mixed read+write stream
+    assert (dma[("plb", "static-priority")].mean_latency_ns
+            < dma[("ahb", "static-priority")].mean_latency_ns)
+    # while the pipelined AHB still beats the non-pipelined generic bus
+    assert (dma[("ahb", "static-priority")].mean_latency_ns
+            < dma[("generic", "static-priority")].mean_latency_ns)
+
+
+def test_e3_arbitration_fairness(benchmark):
+    """The arbitration ablation DESIGN.md §5 calls out, run on the
+    packet-switch application: per-port latency spread under load."""
+    from repro.apps import build_packet_switch
+
+    def run_all():
+        results = {}
+        for arbiter in ("static-priority", "tdma", "round-robin"):
+            system = build_packet_switch(
+                ports=4, packets_per_port=10,
+                fabric_kind="bus", arbiter=arbiter, gap=ns(20),
+            )
+            system.ctx.run(us(1_000_000))
+            assert system.total_received == 40
+            results[arbiter] = system.per_source_mean_latency_ns()
+        return results
+
+    from repro.kernel import us
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    spreads = {}
+    for arbiter, latency in results.items():
+        spread = max(latency.values()) - min(latency.values())
+        spreads[arbiter] = spread
+        row = {"arbiter": arbiter}
+        row.update({
+            f"p{src}_ns": round(latency[src]) for src in sorted(latency)
+        })
+        row["spread_ns"] = round(spread)
+        rows.append(row)
+    print_table("E3b: arbitration fairness (4-port switch, shared bus)",
+                rows)
+    assert (spreads["round-robin"] < spreads["tdma"]
+            < spreads["static-priority"])

@@ -1,0 +1,116 @@
+"""E7 — the cost of the ``ship_serializable_if`` mechanism (§2).
+
+SHIP transfers every object through serialize/deserialize — that is
+what makes the same channel transportable over a bus or the HW/SW
+boundary.  This benchmark quantifies the price:
+
+* codec throughput (round trips/s) by payload type and size;
+* the channel-level ablation from DESIGN.md §5: messages/s through a
+  ShipChannel with serialization vs ``zero_copy`` reference passing.
+
+Shape: serialization cost grows with payload size; zero-copy is
+strictly faster at PV level (which is why it exists as a PV-speed
+option), while the serialized path is the one that refines to buses.
+"""
+
+import pytest
+
+from repro.kernel import Module, SimContext
+from repro.ship import (
+    ShipBytes,
+    ShipChannel,
+    ShipInt,
+    ShipIntArray,
+    ShipString,
+    decode_message,
+    encode_message,
+)
+
+from _util import print_table
+
+PAYLOADS = [
+    ("int", ShipInt(123456789)),
+    ("string-64B", ShipString("x" * 64)),
+    ("bytes-256B", ShipBytes(b"\xab" * 256)),
+    ("array-16w", ShipIntArray(list(range(16)))),
+    ("array-256w", ShipIntArray(list(range(256)))),
+]
+
+
+@pytest.mark.parametrize("name,obj", PAYLOADS,
+                         ids=[n for n, _ in PAYLOADS])
+def test_e7_codec_roundtrip(benchmark, name, obj):
+    def roundtrip():
+        decoded, _ = decode_message(encode_message(obj))
+        return decoded
+
+    decoded = benchmark(roundtrip)
+    assert decoded == obj
+    benchmark.extra_info["wire_bytes"] = len(encode_message(obj))
+
+
+def run_channel(zero_copy: bool, messages: int = 300):
+    ctx = SimContext()
+    top = Module("top", ctx=ctx)
+    chan = ShipChannel("c", top, capacity=32, zero_copy=zero_copy)
+    a = chan.claim_end("producer")
+    b = chan.claim_end("consumer")
+    payload = ShipIntArray(list(range(64)))
+    received = []
+
+    def producer():
+        for _ in range(messages):
+            yield from chan.send(a, payload)
+
+    def consumer():
+        for _ in range(messages):
+            msg = yield from chan.recv(b)
+            received.append(msg)
+
+    ctx.register_thread(producer, "p")
+    ctx.register_thread(consumer, "c")
+    ctx.run()
+    assert len(received) == messages
+    return received
+
+
+def test_e7_channel_serialized(benchmark):
+    received = benchmark(lambda: run_channel(zero_copy=False))
+    # serialization produces equal-but-distinct objects
+    assert received[0].values == list(range(64))
+
+
+def test_e7_channel_zero_copy(benchmark):
+    received = benchmark(lambda: run_channel(zero_copy=True))
+    assert received[0].values == list(range(64))
+
+
+def test_e7_ablation_table(benchmark):
+    import time
+
+    def measure():
+        out = {}
+        for mode, zero_copy in (("serialized", False),
+                                ("zero-copy", True)):
+            start = time.perf_counter()
+            run_channel(zero_copy=zero_copy)
+            out[mode] = time.perf_counter() - start
+        return out
+
+    samples = [benchmark.pedantic(measure, rounds=1, iterations=1)]
+    for _ in range(2):
+        samples.append(measure())
+    walls = {m: min(s[m] for s in samples) for m in samples[0]}
+    rows = [
+        {
+            "channel_mode": mode,
+            "wall_ms": round(wall * 1e3, 2),
+            "messages_per_s": round(300 / wall),
+        }
+        for mode, wall in walls.items()
+    ]
+    print_table("E7: serialization ablation (300 x 64-word messages)",
+                rows)
+    assert walls["zero-copy"] < walls["serialized"], (
+        "reference passing must beat serialize/deserialize at PV level"
+    )

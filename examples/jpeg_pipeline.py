@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The design flow of Figure 1, end to end, on a JPEG-like pipeline.
+
+Carries one application (source -> Walsh-Hadamard transform -> quantize
+sink) through all four levels:
+
+1. component-assembly (untimed SHIP),
+2. CCATB (annotated SHIP),
+3. communication architecture model (SHIP over CoreConnect PLB), and
+4. the pin-accurate prototype (accessors on the RTL fabric),
+
+checking bit-exact functional equivalence at every step and printing
+the speed/accuracy profile the flow trades on.
+
+Run:  python examples/jpeg_pipeline.py [blocks]
+"""
+
+import sys
+
+from repro.kernel import us
+from repro.models import AbstractionLevel
+from repro.flow import DesignFlow
+from repro.apps import LEVEL_BUILDERS, reference_output
+
+LEVEL_OF = {
+    "component-assembly": AbstractionLevel.COMPONENT_ASSEMBLY,
+    "ccatb": AbstractionLevel.CCATB,
+    "cam": AbstractionLevel.COMM_ARCHITECTURE,
+    "prototype": AbstractionLevel.PIN_ACCURATE,
+}
+
+
+def main():
+    blocks = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    golden = reference_output(blocks)
+
+    flow = DesignFlow("jpeg_pipeline")
+    for name, builder in LEVEL_BUILDERS:
+        def make(builder=builder):
+            system = builder(blocks)
+            return system.ctx, system.outputs
+        flow.register(LEVEL_OF[name], make)
+
+    print(f"running the flow on {blocks} blocks...\n")
+    report = flow.run_all(max_time=us(1_000_000))
+    print(report.format_table())
+
+    assert report.functionally_equivalent, report.mismatches()
+    assert report.results[
+        AbstractionLevel.COMPONENT_ASSEMBLY
+    ].outputs == golden, "output does not match the golden model"
+    print(f"timing monotone across refinement: "
+          f"{report.timing_monotone()}")
+
+    pv = report.results[AbstractionLevel.COMPONENT_ASSEMBLY]
+    rtl = report.results[AbstractionLevel.PIN_ACCURATE]
+    if pv.wall_seconds > 0:
+        print(f"\nsimulation cost growth PV -> pin-accurate: "
+              f"{rtl.delta_cycles / max(pv.delta_cycles, 1):.1f}x "
+              f"delta cycles, "
+              f"{rtl.wall_seconds / pv.wall_seconds:.1f}x wall clock")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""A packet-switch dataplane and the arbitration-fairness experiment.
+
+A 4-port packet switch whose ingress links are SHIP connections
+automatically mapped over a fabric by the SystemMapper.  The script
+runs it two ways:
+
+1. on a **crossbar** — every port gets its own path, uniform latency;
+2. on a **shared bus** under three arbitration policies, with all ports
+   loaded — showing the classic fairness trade: static priority starves
+   the low-priority ports, round-robin equalizes, TDMA sits in between.
+
+Run:  python examples/packet_switch.py
+"""
+
+from repro.kernel import ns, us
+from repro.apps import build_packet_switch
+
+
+def show(system, label):
+    latency = system.per_source_mean_latency_ns()
+    spread = max(latency.values()) - min(latency.values())
+    cells = "  ".join(
+        f"p{src}={latency[src]:7.0f}" for src in sorted(latency)
+    )
+    print(f"  {label:16} {cells}  (spread {spread:7.0f} ns)")
+    assert system.flows_in_order(), "per-flow FIFO violated"
+    assert system.forwarder.drops == 0
+    return spread
+
+
+def main():
+    print("== crossbar fabric (one path per port) ==")
+    xbar = build_packet_switch(ports=4, packets_per_port=10)
+    xbar.ctx.run(us(1_000_000))
+    print(f"  delivered {xbar.total_received} packets, "
+          f"per-flow order preserved: {xbar.flows_in_order()}")
+    show(xbar, "crossbar")
+
+    print("\n== shared bus, all ports loaded (gap 20 ns) ==")
+    spreads = {}
+    for arbiter in ("static-priority", "tdma", "round-robin"):
+        system = build_packet_switch(
+            ports=4, packets_per_port=10,
+            fabric_kind="bus", arbiter=arbiter, gap=ns(20),
+        )
+        system.ctx.run(us(1_000_000))
+        spreads[arbiter] = show(system, arbiter)
+
+    print("\nfairness ordering (latency spread across ports):")
+    print(f"  round-robin ({spreads['round-robin']:.0f} ns) "
+          f"< tdma ({spreads['tdma']:.0f} ns) "
+          f"< static-priority ({spreads['static-priority']:.0f} ns)")
+    assert (spreads["round-robin"] < spreads["tdma"]
+            < spreads["static-priority"])
+    print("shapes as expected: priority starves, round-robin shares.")
+
+
+if __name__ == "__main__":
+    main()

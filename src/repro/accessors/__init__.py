@@ -1,0 +1,22 @@
+"""``repro.accessors`` — RTL accessors and prototype generation.
+
+Accessors connect pin-level-OCP PEs to a target communication
+architecture; :func:`build_prototype` performs the paper's automatic
+prototype generation for a whole system.
+"""
+
+from repro.accessors.accessor import RtlAccessor
+from repro.accessors.prototype import (
+    FABRIC_TIMINGS,
+    Prototype,
+    SlaveMapEntry,
+    build_prototype,
+)
+
+__all__ = [
+    "FABRIC_TIMINGS",
+    "Prototype",
+    "RtlAccessor",
+    "SlaveMapEntry",
+    "build_prototype",
+]

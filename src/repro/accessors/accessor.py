@@ -1,0 +1,109 @@
+"""Communication architecture accessors.
+
+From the paper (§3): *"Communication architecture accessors ... are
+intended for the automatic generation of a synthesizable prototype of
+the hardware part.  Their use implies that the designer has refined all
+PEs to the RTL level and has implemented a pin-level OCP interface.
+Then, to connect a PE to a selected target communication architecture,
+the appropriate accessor is attached to the PE.  Since accessors are
+implemented as RTL, they are fully synthesizable."*
+
+:class:`RtlAccessor` is that component in the simulation: a clocked
+state machine with a pin-level OCP slave interface toward the PE and a
+request/grant interface toward the :class:`~repro.rtl.buscore.RtlBusCore`
+fabric.  Everything it does happens at rising clock edges — no
+transaction-level shortcuts — so an accessor-based system simulates at
+genuine pin-accurate cost and cycle fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.kernel.errors import SimulationError
+from repro.kernel.module import Module
+from repro.ocp.pin import OcpPinBundle
+from repro.ocp.types import OcpCmd, OcpRequest
+from repro.rtl.buscore import RtlMasterPort
+
+
+class RtlAccessor(Module):
+    """Pin-level OCP slave -> RTL bus master, fully clocked.
+
+    Parameters
+    ----------
+    bundle:
+        The PE's pin-level OCP interface (the PE is the OCP master).
+    bus_port:
+        Master latch on the target fabric, from
+        :meth:`RtlBusCore.master_port`.
+    accept_latency:
+        Extra cycles before the first beat of each burst is accepted
+        (models the accessor's decode/synchronization stage).
+    """
+
+    def __init__(self, name, parent=None, ctx=None,
+                 bundle: OcpPinBundle = None,
+                 bus_port: RtlMasterPort = None,
+                 accept_latency: int = 0):
+        super().__init__(name, parent, ctx)
+        if bundle is None or bus_port is None:
+            raise SimulationError(
+                f"accessor {name!r} needs an OCP pin bundle and a bus "
+                f"master port"
+            )
+        self.bundle = bundle
+        self.bus_port = bus_port
+        self.accept_latency = accept_latency
+        self.bursts = 0
+        self.add_thread(self._machine, "machine")
+
+    def _machine(self) -> Generator:
+        bundle = self.bundle
+        edge = bundle.clock.posedge_event
+        bundle.s_cmd_accept.write(False)
+        bundle.idle_response()
+        while True:
+            # ---- OCP request phase: sample the PE's pins --------------
+            yield edge
+            if not bundle.request_active:
+                continue
+            for _ in range(self.accept_latency):
+                yield edge
+            cmd = OcpCmd(bundle.m_cmd.read())
+            first_addr = bundle.m_addr.read()
+            burst_length = bundle.m_burst_length.read()
+            byte_en = bundle.m_byte_en.read()
+            data = []
+            bundle.s_cmd_accept.write(True)
+            beats = 0
+            while beats < burst_length:
+                yield edge
+                if not bundle.request_active:
+                    continue
+                if cmd.is_write:
+                    data.append(bundle.m_data.read())
+                beats += 1
+            bundle.s_cmd_accept.write(False)
+            request = OcpRequest(
+                cmd, first_addr, data=data,
+                burst_length=burst_length, byte_en=byte_en,
+            )
+            request.master_id = self.full_name
+            # ---- fabric side: request/grant/done, polled per cycle ----
+            self.bus_port.submit(request)
+            while self.bus_port.response is None:
+                yield edge
+            response = self.bus_port.response
+            # ---- OCP response phase: one beat per cycle ----------------
+            if cmd.is_read:
+                beats_out = response.data or [0] * burst_length
+                for word in beats_out:
+                    bundle.s_resp.write(response.resp.value)
+                    bundle.s_data.write(word)
+                    yield edge
+            elif cmd is OcpCmd.WRNP:
+                bundle.s_resp.write(response.resp.value)
+                yield edge
+            bundle.idle_response()
+            self.bursts += 1

@@ -1,0 +1,62 @@
+"""``repro.cam`` — communication architecture models (CAMs).
+
+A CAM is a CCATB simulation model of a bus or network: cycle-accurate at
+transaction boundaries, arithmetic inside.  The library covers the
+paper's CoreConnect case (PLB, OPB, PLB-OPB bridge), a generic shared
+bus, a crossbar, memory slaves, and pluggable arbitration policies —
+enough to run the communication-architecture exploration of experiment
+E3 and the accuracy check of E2.
+"""
+
+from repro.cam.amba import AHB_MAX_BURST, AhbBus, ApbBridge
+from repro.cam.arbiters import (
+    Arbiter,
+    RoundRobinArbiter,
+    StaticPriorityArbiter,
+    TdmaArbiter,
+    make_arbiter,
+)
+from repro.cam.dcr import DcrBus
+from repro.cam.bus import (
+    BusCam,
+    BusStats,
+    BusTiming,
+    GenericBus,
+    SlaveBinding,
+)
+from repro.cam.coreconnect import (
+    OPB_DEFAULT_PERIOD,
+    PLB_DEFAULT_PERIOD,
+    PLB_MAX_BURST,
+    OpbBus,
+    PlbBus,
+    PlbOpbBridge,
+)
+from repro.cam.crossbar import CrossbarCam
+from repro.cam.memory import MemorySlave, Rom
+
+__all__ = [
+    "AHB_MAX_BURST",
+    "AhbBus",
+    "ApbBridge",
+    "Arbiter",
+    "BusCam",
+    "DcrBus",
+    "BusStats",
+    "BusTiming",
+    "CrossbarCam",
+    "GenericBus",
+    "MemorySlave",
+    "OPB_DEFAULT_PERIOD",
+    "OpbBus",
+    "PLB_DEFAULT_PERIOD",
+    "PLB_MAX_BURST",
+    "PlbBus",
+    "PlbOpbBridge",
+    "Rom",
+    "RoundRobinArbiter",
+    "SlaveBinding",
+    "StaticPriorityArbiter",
+    "TdmaArbiter",
+    "make_arbiter",
+]

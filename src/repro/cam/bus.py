@@ -1,0 +1,539 @@
+"""The CCATB bus engine: base class for communication architecture models.
+
+A :class:`BusCam` is *cycle-count accurate at the boundaries* (CCATB,
+Pasricha et al. DAC'04, as adopted by the paper): transactions observe
+cycle-accurate begin/end times, but the interior of a transaction is
+computed arithmetically instead of simulating every cycle.  That is the
+source of the TLM speedup quantified in experiments E1/E2.
+
+Masters attach through :meth:`BusCam.master_socket` (an
+:class:`~repro.ocp.tl.OcpTargetIf`, so any OCP TL master or wrapper can
+drive it); slaves attach with :meth:`BusCam.attach_slave` into the bus's
+address map.  A slave is either:
+
+* **functional** — implements ``access(request)`` returning the response
+  in zero time, with its wait states charged by the bus (memories), or
+* **transported** — implements ``transport(request)`` as a blocking
+  generator; the bus holds the data path while it runs (bridges).
+
+Timing model (one grant at a time on the shared command path)::
+
+    grant:   arb_cycles + addr_cycles              (command phase)
+    data:    wait_states + beats * cycles_per_beat (data phase)
+
+With ``pipelined=True`` the command phase of transaction *n+1* overlaps
+the data phase of transaction *n* (PLB address pipelining); with
+``split_rw=True`` reads and writes drain on separate data paths (PLB's
+separate read/write data buses).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from repro.kernel.errors import ElaborationError, SimulationError
+from repro.kernel.event import Event
+from repro.kernel.module import Module
+from repro.kernel.object import SimObject
+from repro.kernel.simtime import SimTime, ZERO_TIME, ns
+from repro.ocp.tl import OcpTargetIf
+from repro.ocp.types import OcpRequest, OcpResponse
+from repro.cam.arbiters import Arbiter, StaticPriorityArbiter
+from repro.trace.stats import TimeStats
+from repro.trace.transaction import TransactionRecorder
+
+
+@dataclass
+class BusTiming:
+    """Cycle counts defining a bus protocol's CCATB timing."""
+
+    arb_cycles: int = 1
+    addr_cycles: int = 1
+    cycles_per_beat: int = 1
+    pipelined: bool = False
+    split_rw: bool = False
+
+    @property
+    def cmd_cycles(self) -> int:
+        """Arbitration plus address cycles (the command phase)."""
+        return self.arb_cycles + self.addr_cycles
+
+
+@dataclass
+class SlaveBinding:
+    """One entry in the bus address map.
+
+    With ``localize`` set (the default for functional slaves) the slave
+    sees region-relative addresses; bridges keep absolute addresses so
+    they can re-decode on the far bus.
+    """
+
+    target: object
+    base: int
+    size: int
+    name: str
+    read_wait: Optional[int] = None
+    write_wait: Optional[int] = None
+    localize: bool = True
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the mapped region."""
+        return self.base + self.size
+
+    def contains(self, addr: int, nbytes: int) -> bool:
+        """True if the whole access fits this region."""
+        return self.base <= addr and addr + nbytes <= self.end
+
+    def wait_states(self, request: OcpRequest) -> int:
+        """Wait states to charge (override or slave-advertised)."""
+        override = (
+            self.read_wait if request.cmd.is_read else self.write_wait
+        )
+        if override is not None:
+            return override
+        getter = getattr(self.target, "wait_states", None)
+        return getter(request) if getter is not None else 0
+
+    def localized(self, request: OcpRequest) -> OcpRequest:
+        """The request as the slave should see it."""
+        if not self.localize or self.base == 0:
+            return request
+        from dataclasses import replace
+
+        return replace(request, addr=request.addr - self.base)
+
+    @property
+    def is_functional(self) -> bool:
+        """True when the slave offers zero-time ``access``."""
+        return hasattr(self.target, "access")
+
+
+class _BusTransaction:
+    """In-flight bookkeeping for one master request."""
+
+    __slots__ = (
+        "request", "master", "priority", "seq", "arrival",
+        "done", "response", "completed_at",
+    )
+
+    def __init__(self, request, master, priority, seq, arrival, done):
+        self.request = request
+        self.master = master
+        self.priority = priority
+        self.seq = seq
+        self.arrival = arrival
+        self.done = done
+        self.response: Optional[OcpResponse] = None
+        self.completed_at: Optional[SimTime] = None
+
+
+class _MasterSocket(SimObject, OcpTargetIf):
+    """Bus attachment point for one master (an OCP TL target).
+
+    Requests longer than the bus's ``max_burst`` are transparently
+    split into back-to-back sub-bursts (incrementing bursts only), the
+    way a real bus master interface re-chunks long transfers.
+    """
+
+    def __init__(self, name, bus: "BusCam", priority: int):
+        super().__init__(name, bus)
+        self.bus = bus
+        self.priority = priority
+        self.split_transactions = 0
+
+    def transport(self, request: OcpRequest) -> Generator:
+        if request.master_id is None:
+            request.master_id = self.full_name
+        limit = self.bus.max_burst
+        if limit is not None and request.burst_length > limit:
+            return (yield from self._split_transport(request, limit))
+        txn = self.bus._submit(request, self.name, self.priority)
+        while txn.response is None:
+            yield txn.done
+        return txn.response
+
+    def _split_transport(self, request: OcpRequest,
+                         limit: int) -> Generator:
+        from dataclasses import replace
+
+        from repro.ocp.types import BurstSeq
+
+        if request.burst_seq is not BurstSeq.INCR:
+            raise SimulationError(
+                f"{self.full_name}: cannot split a "
+                f"{request.burst_seq.name} burst of "
+                f"{request.burst_length} beats (bus max {limit})"
+            )
+        self.split_transactions += 1
+        offset = 0
+        read_data = []
+        while offset < request.burst_length:
+            beats = min(limit, request.burst_length - offset)
+            sub = replace(
+                request,
+                addr=request.beat_address(offset),
+                data=(request.data[offset:offset + beats]
+                      if request.cmd.is_write else []),
+                burst_length=beats,
+            )
+            response = yield from self.transport(sub)
+            if not response.ok:
+                return response
+            read_data.extend(response.data)
+            offset += beats
+        if request.cmd.is_read:
+            return OcpResponse.read_ok(read_data)
+        return OcpResponse.write_ok()
+
+
+class BusStats:
+    """Aggregated CCATB bus statistics."""
+
+    def __init__(self):
+        self.latency_by_master: Dict[str, TimeStats] = {}
+        self.transactions = 0
+        self.bytes = 0
+        self.error_responses = 0
+        self.data_busy_cycles = 0
+        self.channel_busy_cycles: Dict[str, int] = {}
+
+    def record(self, master: str, latency: SimTime, nbytes: int,
+               ok: bool, data_cycles: int, channel: str) -> None:
+        """Account one completed transaction."""
+        self.latency_by_master.setdefault(master, TimeStats()).add(latency)
+        self.transactions += 1
+        self.bytes += nbytes
+        if not ok:
+            self.error_responses += 1
+        self.data_busy_cycles += data_cycles
+        self.channel_busy_cycles[channel] = (
+            self.channel_busy_cycles.get(channel, 0) + data_cycles
+        )
+
+    def mean_latency_ns(self, master: Optional[str] = None) -> float:
+        """Mean latency, per master or overall."""
+        if master is not None:
+            stats = self.latency_by_master.get(master)
+            return stats.mean_ns if stats else 0.0
+        merged = [s for s in self.latency_by_master.values() if s.count]
+        if not merged:
+            return 0.0
+        total = sum(s.total_ns for s in merged)
+        count = sum(s.count for s in merged)
+        return total / count
+
+
+class BusCam(Module):
+    """Base communication architecture model (a shared bus).
+
+    Subclasses (PLB, OPB, the generic bus) normally just pass a
+    :class:`BusTiming`; exotic fabrics may override
+    :meth:`transaction_cycles` for request-dependent timing.
+    """
+
+    def __init__(
+        self,
+        name,
+        parent=None,
+        ctx=None,
+        clock_period: SimTime = None,
+        timing: Optional[BusTiming] = None,
+        arbiter: Optional[Arbiter] = None,
+        recorder: Optional[TransactionRecorder] = None,
+        max_burst: Optional[int] = None,
+    ):
+        super().__init__(name, parent, ctx)
+        self.clock_period = clock_period if clock_period is not None else ns(10)
+        if self.clock_period == ZERO_TIME:
+            raise SimulationError(f"bus {name!r}: clock period must be > 0")
+        if max_burst is not None and max_burst < 1:
+            raise SimulationError(f"bus {name!r}: max_burst must be >= 1")
+        self.max_burst = max_burst
+        self.timing = timing or BusTiming()
+        self.arbiter = arbiter or StaticPriorityArbiter()
+        self.recorder = recorder
+        self.stats = BusStats()
+        self.slaves: List[SlaveBinding] = []
+        self._pending: List[_BusTransaction] = []
+        self._request_event = Event(self, f"{self.full_name}.request")
+        self._seq = itertools.count()
+        self._sockets: Dict[str, _MasterSocket] = {}
+        #: per data channel: time the channel becomes free
+        self._channel_free: Dict[str, SimTime] = {}
+        self.add_thread(self._bus_process, "bus_process")
+
+    # -- construction-time wiring ---------------------------------------------
+
+    def master_socket(self, name: str, priority: int = 0) -> _MasterSocket:
+        """Create (or fetch) the attachment point for master ``name``."""
+        if name in self._sockets:
+            return self._sockets[name]
+        socket = _MasterSocket(name, self, priority)
+        self._sockets[name] = socket
+        return socket
+
+    def attach_slave(
+        self,
+        target,
+        base: int,
+        size: int,
+        name: Optional[str] = None,
+        read_wait: Optional[int] = None,
+        write_wait: Optional[int] = None,
+        localize: Optional[bool] = None,
+    ) -> SlaveBinding:
+        """Map ``target`` into ``[base, base+size)`` on this bus.
+
+        ``localize`` defaults to True for functional slaves (memories see
+        region-relative addresses) and False for transported slaves
+        (bridges need the absolute address to re-decode downstream).
+        """
+        if localize is None:
+            localize = hasattr(target, "access")
+        if size <= 0:
+            raise ElaborationError(f"bus {self.full_name}: slave size <= 0")
+        if not (hasattr(target, "access") or hasattr(target, "transport")):
+            raise ElaborationError(
+                f"bus {self.full_name}: slave must implement access() or "
+                f"transport()"
+            )
+        binding = SlaveBinding(
+            target=target,
+            base=base,
+            size=size,
+            name=name or getattr(target, "full_name", repr(target)),
+            read_wait=read_wait,
+            write_wait=write_wait,
+            localize=localize,
+        )
+        for other in self.slaves:
+            if binding.base < other.end and other.base < binding.end:
+                raise ElaborationError(
+                    f"bus {self.full_name}: address ranges of "
+                    f"{binding.name!r} and {other.name!r} overlap"
+                )
+        self.slaves.append(binding)
+        return binding
+
+    def decode(self, addr: int, nbytes: int) -> Optional[SlaveBinding]:
+        """Address decode; the whole burst must fit one region."""
+        for binding in self.slaves:
+            if binding.contains(addr, nbytes):
+                return binding
+        return None
+
+    # -- timing hooks ---------------------------------------------------------------
+
+    def data_cycles(self, request: OcpRequest,
+                    binding: SlaveBinding) -> int:
+        """Data-phase cycle count for one transaction."""
+        return (
+            binding.wait_states(request)
+            + request.burst_length * self.timing.cycles_per_beat
+        )
+
+    def channel_of(self, request: OcpRequest) -> str:
+        """Which data channel carries this request."""
+        if self.timing.split_rw:
+            return "read" if request.cmd.is_read else "write"
+        return "data"
+
+    @property
+    def current_cycle(self) -> int:
+        """Bus cycle number at the current time."""
+        return self.ctx.now // self.clock_period
+
+    # -- master-side submission -------------------------------------------------------
+
+    def _submit(self, request: OcpRequest, master: str,
+                priority: int) -> _BusTransaction:
+        txn = _BusTransaction(
+            request=request,
+            master=master,
+            priority=priority,
+            seq=next(self._seq),
+            arrival=self.ctx.now,
+            done=Event(self, f"{self.full_name}.done_{next(self._seq)}"),
+        )
+        self._pending.append(txn)
+        self._request_event.notify()
+        return txn
+
+    # -- the bus process ------------------------------------------------------------------
+
+    def _align_to_cycle(self) -> Optional[SimTime]:
+        remainder = self.ctx.now % self.clock_period
+        if remainder == ZERO_TIME:
+            return None
+        return self.clock_period - remainder
+
+    def _bus_process(self) -> Generator:
+        period = self.clock_period
+        timing = self.timing
+        while True:
+            while not self._pending:
+                yield self._request_event
+            align = self._align_to_cycle()
+            if align is not None:
+                yield align
+            if not self._pending:
+                continue
+            txn = self.arbiter.pick(self._pending, self.current_cycle)
+            if txn is None:  # strict TDMA: idle slot
+                yield period
+                continue
+            self._pending.remove(txn)
+            request = txn.request
+            binding = self.decode(request.addr, request.nbytes)
+            if binding is None:
+                yield period * timing.cmd_cycles
+                self._complete(txn, OcpResponse.error(), data_cycles=0,
+                               channel="decode-error")
+                continue
+            if binding.is_functional:
+                yield from self._run_functional(txn, binding)
+            else:
+                yield from self._run_transported(txn, binding)
+
+    def _run_functional(self, txn: _BusTransaction,
+                        binding: SlaveBinding) -> Generator:
+        period = self.clock_period
+        timing = self.timing
+        request = txn.request
+        data_cycles = self.data_cycles(request, binding)
+        channel = self.channel_of(request)
+        if timing.pipelined:
+            # Command phase on the shared path; data phase overlaps the
+            # next command phase, serialized per data channel.
+            yield period * timing.cmd_cycles
+            start = max(
+                self.ctx.now,
+                self._channel_free.get(channel, ZERO_TIME),
+            )
+            end = start + period * data_cycles
+            self._channel_free[channel] = end
+            response = self._functional_access(binding, request)
+            txn.response = response
+            txn.completed_at = end
+            delay = end - self.ctx.now
+            txn.done.notify_after(delay)
+            self._account(txn, response, end, data_cycles, channel)
+            # Bus thread returns immediately: ready to arbitrate the next
+            # command phase while this data phase drains.
+        else:
+            yield period * (timing.cmd_cycles + data_cycles)
+            response = self._functional_access(binding, request)
+            self._complete(txn, response, data_cycles, channel)
+
+    def _run_transported(self, txn: _BusTransaction,
+                         binding: SlaveBinding) -> Generator:
+        period = self.clock_period
+        timing = self.timing
+        request = txn.request
+        channel = self.channel_of(request)
+        yield period * timing.cmd_cycles
+        start = self.ctx.now
+        response = yield from binding.target.transport(
+            binding.localized(request)
+        )
+        busy = (self.ctx.now - start) // period
+        self._complete(txn, response, int(busy), channel)
+
+    def _functional_access(self, binding: SlaveBinding,
+                           request: OcpRequest) -> OcpResponse:
+        try:
+            return binding.target.access(binding.localized(request))
+        except Exception:
+            self.ctx.reporter.error(
+                "bus",
+                f"slave {binding.name!r} raised during access to "
+                f"{request!r}",
+                time_str=str(self.ctx.now),
+            )
+            return OcpResponse.error()
+
+    # -- completion & accounting ----------------------------------------------------------
+
+    def _complete(self, txn: _BusTransaction, response: OcpResponse,
+                  data_cycles: int, channel: str) -> None:
+        txn.response = response
+        txn.completed_at = self.ctx.now
+        txn.done.notify()
+        self._account(txn, response, self.ctx.now, data_cycles, channel)
+
+    def _account(self, txn: _BusTransaction, response: OcpResponse,
+                 end: SimTime, data_cycles: int, channel: str) -> None:
+        latency = end - txn.arrival
+        self.stats.record(
+            master=txn.master,
+            latency=latency,
+            nbytes=txn.request.nbytes,
+            ok=response.ok,
+            data_cycles=data_cycles,
+            channel=channel,
+        )
+        if self.recorder is not None:
+            self.recorder.record(
+                channel=self.full_name,
+                kind=txn.request.cmd.name.lower(),
+                initiator=txn.master,
+                target=channel,
+                begin=txn.arrival,
+                end=end,
+                nbytes=txn.request.nbytes,
+                burst=txn.request.burst_length,
+            )
+
+    # -- reporting ----------------------------------------------------------------------------
+
+    def utilization(self, until: Optional[SimTime] = None) -> float:
+        """Fraction of elapsed bus cycles with an active data phase.
+
+        ``until`` measures against a window end other than the current
+        simulation time (e.g. the workload's completion time).
+        """
+        horizon = until if until is not None else self.ctx.now
+        total_cycles = horizon // self.clock_period
+        if total_cycles == 0:
+            return 0.0
+        busy = self.stats.data_busy_cycles
+        if self.timing.split_rw:
+            # Two parallel data paths double the available cycles.
+            total_cycles *= 2
+        return min(busy / total_cycles, 1.0)
+
+    def report(self) -> Dict[str, object]:
+        """Summary dict: transactions, bytes, latency, utilization."""
+        return {
+            "bus": self.full_name,
+            "transactions": self.stats.transactions,
+            "bytes": self.stats.bytes,
+            "errors": self.stats.error_responses,
+            "mean_latency_ns": self.stats.mean_latency_ns(),
+            "utilization": self.utilization(),
+            "arbiter": self.arbiter.name,
+        }
+
+
+class GenericBus(BusCam):
+    """A plain non-pipelined shared bus (the 'simple bus' CAM)."""
+
+    def __init__(self, name, parent=None, ctx=None, clock_period=None,
+                 arbiter=None, recorder=None, cycles_per_beat: int = 1):
+        super().__init__(
+            name,
+            parent,
+            ctx,
+            clock_period=clock_period,
+            timing=BusTiming(
+                arb_cycles=1,
+                addr_cycles=1,
+                cycles_per_beat=cycles_per_beat,
+                pipelined=False,
+            ),
+            arbiter=arbiter,
+            recorder=recorder,
+        )

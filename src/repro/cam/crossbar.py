@@ -1,0 +1,161 @@
+"""Crossbar communication architecture model.
+
+A crossbar gives every slave its own arbitrated path, so transactions to
+*different* slaves proceed concurrently — the fabric that exposes
+whether a workload's contention is slave-side or interconnect-side in
+the exploration experiment (E3).
+
+Internally each attached slave gets a private single-slave
+:class:`~repro.cam.bus.BusCam` ("path"); the crossbar socket decodes the
+address and forwards to the per-path socket.  This reuses the CCATB
+timing engine unchanged, so crossbar timing is directly comparable with
+the shared-bus models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.kernel.errors import ElaborationError
+from repro.kernel.module import Module
+from repro.kernel.object import SimObject
+from repro.kernel.simtime import SimTime, ns
+from repro.ocp.tl import OcpTargetIf
+from repro.ocp.types import OcpRequest, OcpResponse
+from repro.cam.arbiters import Arbiter, RoundRobinArbiter
+from repro.cam.bus import BusCam, BusTiming, SlaveBinding
+from repro.trace.transaction import TransactionRecorder
+
+
+class _CrossbarSocket(SimObject, OcpTargetIf):
+    """Master attachment point: decodes, then rides the per-slave path."""
+
+    def __init__(self, name, xbar: "CrossbarCam", priority: int):
+        super().__init__(name, xbar)
+        self.xbar = xbar
+        self.priority = priority
+        #: per-path sockets, created lazily per (this master, path)
+        self._path_sockets: Dict[int, OcpTargetIf] = {}
+
+    def transport(self, request: OcpRequest) -> Generator:
+        if request.master_id is None:
+            request.master_id = self.full_name
+        path = self.xbar._decode_path(request.addr, request.nbytes)
+        if path is None:
+            # Decode error: charge one command phase, like the buses do.
+            yield self.xbar.clock_period * self.xbar.timing.cmd_cycles
+            self.xbar.decode_errors += 1
+            return OcpResponse.error()
+        socket = self._path_sockets.get(id(path))
+        if socket is None:
+            socket = path.master_socket(self.name, priority=self.priority)
+            self._path_sockets[id(path)] = socket
+        return (yield from socket.transport(request))
+
+
+class CrossbarCam(Module):
+    """A full crossbar fabric built from per-slave CCATB paths."""
+
+    def __init__(
+        self,
+        name,
+        parent=None,
+        ctx=None,
+        clock_period: SimTime = None,
+        timing: Optional[BusTiming] = None,
+        arbiter_factory: Callable[[], Arbiter] = RoundRobinArbiter,
+        recorder: Optional[TransactionRecorder] = None,
+    ):
+        super().__init__(name, parent, ctx)
+        self.clock_period = clock_period if clock_period is not None else ns(10)
+        self.timing = timing or BusTiming(arb_cycles=1, addr_cycles=1,
+                                          cycles_per_beat=1)
+        self.arbiter_factory = arbiter_factory
+        self.recorder = recorder
+        self.paths: List[BusCam] = []
+        self._sockets: Dict[str, _CrossbarSocket] = {}
+        self.decode_errors = 0
+
+    # -- wiring -------------------------------------------------------------------
+
+    def master_socket(self, name: str, priority: int = 0) -> _CrossbarSocket:
+        """Create (or fetch) this master's attachment point."""
+        if name in self._sockets:
+            return self._sockets[name]
+        socket = _CrossbarSocket(name, self, priority)
+        self._sockets[name] = socket
+        return socket
+
+    def attach_slave(
+        self,
+        target,
+        base: int,
+        size: int,
+        name: Optional[str] = None,
+        read_wait: Optional[int] = None,
+        write_wait: Optional[int] = None,
+        localize: Optional[bool] = None,
+    ) -> SlaveBinding:
+        """Map a slave onto its own arbitrated path."""
+        for path in self.paths:
+            binding = path.slaves[0]
+            if base < binding.end and binding.base < base + size:
+                raise ElaborationError(
+                    f"crossbar {self.full_name}: address ranges of "
+                    f"{name!r} and {binding.name!r} overlap"
+                )
+        path = BusCam(
+            f"path{len(self.paths)}",
+            self,
+            clock_period=self.clock_period,
+            timing=self.timing,
+            arbiter=self.arbiter_factory(),
+            recorder=self.recorder,
+        )
+        binding = path.attach_slave(
+            target, base, size, name=name,
+            read_wait=read_wait, write_wait=write_wait, localize=localize,
+        )
+        self.paths.append(path)
+        return binding
+
+    def _decode_path(self, addr: int, nbytes: int) -> Optional[BusCam]:
+        for path in self.paths:
+            if path.decode(addr, nbytes) is not None:
+                return path
+        return None
+
+    # -- reporting -----------------------------------------------------------------
+
+    @property
+    def transactions(self) -> int:
+        """Total transactions completed across all paths."""
+        return sum(path.stats.transactions for path in self.paths)
+
+    def utilization(self, until=None) -> float:
+        """Mean utilization across paths (see :meth:`BusCam.utilization`)."""
+        if not self.paths:
+            return 0.0
+        return sum(
+            path.utilization(until) for path in self.paths
+        ) / len(self.paths)
+
+    def report(self) -> Dict[str, object]:
+        """Summary dict aggregated over the per-slave paths."""
+        total_ns = 0.0
+        count = 0
+        for path in self.paths:
+            for stats in path.stats.latency_by_master.values():
+                total_ns += stats.total_ns
+                count += stats.count
+        return {
+            "bus": self.full_name,
+            "transactions": self.transactions,
+            "bytes": sum(path.stats.bytes for path in self.paths),
+            "errors": sum(
+                path.stats.error_responses for path in self.paths
+            ) + self.decode_errors,
+            "mean_latency_ns": total_ns / count if count else 0.0,
+            "utilization": self.utilization(),
+            "arbiter": self.arbiter_factory().name,
+        }

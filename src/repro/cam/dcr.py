@@ -1,0 +1,77 @@
+"""CoreConnect DCR (Device Control Register) bus CAM.
+
+The third CoreConnect tier: a low-bandwidth daisy-chained ring the CPU
+uses for configuration registers, deliberately kept off the PLB to
+avoid polluting it with single-word control traffic.  Characteristics
+modeled:
+
+* single-word transfers only (no bursts);
+* ring topology: a request passes through every slave between the
+  master and the target, so access latency grows with the target's
+  position on the chain;
+* one outstanding command (non-pipelined).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.errors import SimulationError
+from repro.kernel.simtime import SimTime, ns
+from repro.ocp.types import OcpRequest
+from repro.cam.arbiters import Arbiter, StaticPriorityArbiter
+from repro.cam.bus import BusCam, BusTiming, SlaveBinding
+from repro.trace.transaction import TransactionRecorder
+
+
+class DcrBus(BusCam):
+    """The DCR ring as a CCATB model.
+
+    ``hop_cycles`` is the per-slave forwarding delay; the target's
+    position in attach order determines how many hops a request pays.
+    """
+
+    def __init__(
+        self,
+        name,
+        parent=None,
+        ctx=None,
+        clock_period: SimTime = None,
+        hop_cycles: int = 1,
+        arbiter: Optional[Arbiter] = None,
+        recorder: Optional[TransactionRecorder] = None,
+    ):
+        super().__init__(
+            name,
+            parent,
+            ctx,
+            clock_period=clock_period or ns(10),
+            timing=BusTiming(
+                arb_cycles=1,
+                addr_cycles=1,
+                cycles_per_beat=1,
+                pipelined=False,
+                split_rw=False,
+            ),
+            arbiter=arbiter or StaticPriorityArbiter(),
+            recorder=recorder,
+        )
+        if hop_cycles < 0:
+            raise SimulationError(
+                f"dcr bus {name!r}: hop_cycles must be >= 0"
+            )
+        self.hop_cycles = hop_cycles
+
+    def data_cycles(self, request: OcpRequest,
+                    binding: SlaveBinding) -> int:
+        if request.burst_length != 1:
+            raise SimulationError(
+                f"DCR carries single-word transfers only, got a "
+                f"{request.burst_length}-beat burst"
+            )
+        # hops to the target = its position on the daisy chain
+        position = self.slaves.index(binding)
+        return (
+            super().data_cycles(request, binding)
+            + self.hop_cycles * position
+        )

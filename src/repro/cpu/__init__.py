@@ -1,0 +1,18 @@
+"""``repro.cpu`` — a bus-mastering CPU model with a tiny ISA.
+
+The "standard SW component" of an embedded platform: a transaction-
+level instruction-set simulator whose fetches, loads and stores are
+real bus transactions, plus a two-pass assembler for firmware.
+"""
+
+from repro.cpu.core import SimpleCpu
+from repro.cpu.isa import Op, assemble, decode, disassemble, encode
+
+__all__ = [
+    "Op",
+    "SimpleCpu",
+    "assemble",
+    "decode",
+    "disassemble",
+    "encode",
+]

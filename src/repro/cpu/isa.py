@@ -1,0 +1,163 @@
+"""A minimal embedded CPU ISA and assembler.
+
+Embedded systems "incorporate the assembly of standard HW and SW
+components" (§1); the standard component this package supplies is a
+small bus-mastering CPU.  The ISA is a word-addressed accumulator
+machine — deliberately tiny, but complete enough for device-driver-style
+firmware: memory-mapped I/O, loops, conditionals, and a halt.
+
+Instruction format: one 32-bit word, ``opcode (8b) | operand (24b)``.
+The operand is a word-aligned byte address for memory ops or an
+absolute instruction address for branches; immediates use dedicated
+opcodes.
+
+=========  =====================================================
+mnemonic   effect
+=========  =====================================================
+NOP        —
+LDI imm    acc = imm (sign-extended 24-bit)
+LOAD a     acc = mem[a]
+STORE a    mem[a] = acc
+ADD a      acc += mem[a]
+SUB a      acc -= mem[a]
+ADDI imm   acc += imm
+ANDI imm   acc &= imm
+LOADX a    acc = mem[a + idx]
+STOREX a   mem[a + idx] = acc
+SETX       idx = acc
+INCX imm   idx += imm (sign-extended)
+JMP a      pc = a
+BEQZ a     if acc == 0: pc = a
+BNEZ a     if acc != 0: pc = a
+HALT       stop the CPU
+=========  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Tuple, Union
+
+
+class Op(enum.IntEnum):
+    NOP = 0x00
+    LDI = 0x01
+    LOAD = 0x02
+    STORE = 0x03
+    ADD = 0x04
+    SUB = 0x05
+    ADDI = 0x06
+    ANDI = 0x07
+    LOADX = 0x08
+    STOREX = 0x09
+    SETX = 0x0A
+    INCX = 0x0B
+    JMP = 0x0C
+    BEQZ = 0x0D
+    BNEZ = 0x0E
+    HALT = 0x0F
+
+
+#: opcodes whose operand is interpreted as signed
+_SIGNED_OPERAND = {Op.LDI, Op.ADDI, Op.INCX}
+
+_OPERAND_MASK = 0xFFFFFF
+_SIGN_BIT = 0x800000
+
+
+def encode(op: Op, operand: int = 0) -> int:
+    """Pack one instruction word."""
+    if operand < 0:
+        if op not in _SIGNED_OPERAND:
+            raise ValueError(
+                f"{op.name} takes an unsigned operand, got {operand}"
+            )
+        operand &= _OPERAND_MASK
+    if operand > _OPERAND_MASK:
+        raise ValueError(f"operand {operand:#x} exceeds 24 bits")
+    return (int(op) << 24) | operand
+
+
+def decode(word: int) -> Tuple[Op, int]:
+    """Unpack one instruction word into ``(op, operand)``."""
+    try:
+        op = Op((word >> 24) & 0xFF)
+    except ValueError:
+        raise ValueError(
+            f"illegal opcode {(word >> 24) & 0xFF:#x} in word "
+            f"{word:#010x}"
+        ) from None
+    operand = word & _OPERAND_MASK
+    if op in _SIGNED_OPERAND and operand & _SIGN_BIT:
+        operand -= _SIGN_BIT << 1
+    return op, operand
+
+
+#: An assembly statement: mnemonic, or (mnemonic, operand-or-label),
+#: or a bare string "label:" defining a location.
+Statement = Union[str, Tuple[str, Union[int, str]]]
+
+
+def assemble(program: List[Statement], base: int = 0) -> List[int]:
+    """Two-pass assembler; labels are byte addresses relative to
+    ``base``.
+
+    Example::
+
+        assemble([
+            ("LDI", 0),
+            "loop:",
+            ("ADDI", 1),
+            ("STORE", 0x100),
+            ("BNEZ", "loop"),
+            "HALT",
+        ])
+    """
+    # pass 1: label addresses
+    labels: Dict[str, int] = {}
+    pc = base
+    for stmt in program:
+        if isinstance(stmt, str) and stmt.endswith(":"):
+            label = stmt[:-1].strip()
+            if not label:
+                raise ValueError("empty label")
+            if label in labels:
+                raise ValueError(f"duplicate label {label!r}")
+            labels[label] = pc
+        else:
+            pc += 4
+    # pass 2: encode
+    words: List[int] = []
+    for stmt in program:
+        if isinstance(stmt, str):
+            if stmt.endswith(":"):
+                continue
+            mnemonic, operand = stmt, 0
+        else:
+            mnemonic, operand = stmt
+        try:
+            op = Op[mnemonic.upper()]
+        except KeyError:
+            raise ValueError(f"unknown mnemonic {mnemonic!r}") from None
+        if isinstance(operand, str):
+            try:
+                operand = labels[operand]
+            except KeyError:
+                raise ValueError(
+                    f"undefined label {operand!r}"
+                ) from None
+        words.append(encode(op, operand))
+    return words
+
+
+def disassemble(words: List[int], base: int = 0) -> List[str]:
+    """Human-readable listing (for debugging generated firmware)."""
+    lines = []
+    for i, word in enumerate(words):
+        op, operand = decode(word)
+        if op in (Op.NOP, Op.HALT, Op.SETX):
+            text = op.name
+        else:
+            text = f"{op.name} {operand:#x}"
+        lines.append(f"{base + i * 4:#06x}: {text}")
+    return lines

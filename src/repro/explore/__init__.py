@@ -1,0 +1,47 @@
+"""``repro.explore`` — communication architecture exploration.
+
+Traffic generation, design-space description, the build/run/measure
+loop, and Pareto analysis, powering the exploration experiment (E3).
+"""
+
+from repro.explore.runner import (
+    ExplorationResult,
+    MasterMetrics,
+    build_fabric,
+    explore,
+    format_table,
+    pareto_front,
+    results_to_csv,
+    run_point,
+)
+from repro.explore.space import (
+    ARBITERS,
+    FABRICS,
+    ArchitectureConfig,
+    DesignSpace,
+)
+from repro.explore.workload import (
+    PATTERNS,
+    MasterTrafficSpec,
+    TrafficMaster,
+    standard_workloads,
+)
+
+__all__ = [
+    "ARBITERS",
+    "ArchitectureConfig",
+    "DesignSpace",
+    "ExplorationResult",
+    "FABRICS",
+    "MasterMetrics",
+    "MasterTrafficSpec",
+    "PATTERNS",
+    "TrafficMaster",
+    "build_fabric",
+    "explore",
+    "format_table",
+    "pareto_front",
+    "results_to_csv",
+    "run_point",
+    "standard_workloads",
+]

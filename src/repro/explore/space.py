@@ -1,0 +1,76 @@
+"""Design-space description for communication architecture exploration."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.kernel.simtime import SimTime, ns
+
+#: Fabrics the runner can instantiate.
+FABRICS = ("plb", "opb", "ahb", "generic", "crossbar")
+#: Arbitration policies the runner can instantiate.
+ARBITERS = ("static-priority", "round-robin", "tdma")
+
+
+@dataclass(frozen=True)
+class ArchitectureConfig:
+    """One point in the communication-architecture design space."""
+
+    fabric: str = "plb"
+    arbiter: str = "static-priority"
+    clock_period: SimTime = ns(10)
+    max_burst: int = 16
+    tdma_slot_cycles: int = 8
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        if self.fabric not in FABRICS:
+            raise ValueError(
+                f"unknown fabric {self.fabric!r}; expected one of {FABRICS}"
+            )
+        if self.arbiter not in ARBITERS:
+            raise ValueError(
+                f"unknown arbiter {self.arbiter!r}; expected one of "
+                f"{ARBITERS}"
+            )
+        if self.max_burst < 1:
+            raise ValueError("max_burst must be >= 1")
+
+    @property
+    def name(self) -> str:
+        """Readable identifier (label override or derived)."""
+        if self.label:
+            return self.label
+        mhz = 1e3 / self.clock_period.to("ns")
+        return (
+            f"{self.fabric}/{self.arbiter}@{mhz:.0f}MHz"
+            f"/b{self.max_burst}"
+        )
+
+
+@dataclass
+class DesignSpace:
+    """Cartesian product of architecture parameters."""
+
+    fabrics: Sequence[str] = ("plb", "generic", "crossbar")
+    arbiters: Sequence[str] = ("static-priority", "round-robin")
+    clock_periods: Sequence[SimTime] = (ns(10),)
+    max_bursts: Sequence[int] = (16,)
+
+    def __iter__(self) -> Iterator[ArchitectureConfig]:
+        for fabric, arbiter, period, burst in itertools.product(
+            self.fabrics, self.arbiters, self.clock_periods,
+            self.max_bursts,
+        ):
+            yield ArchitectureConfig(
+                fabric=fabric, arbiter=arbiter,
+                clock_period=period, max_burst=burst,
+            )
+
+    def __len__(self) -> int:
+        return (
+            len(self.fabrics) * len(self.arbiters)
+            * len(self.clock_periods) * len(self.max_bursts)
+        )

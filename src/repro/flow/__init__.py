@@ -1,0 +1,22 @@
+"""``repro.flow`` — the Figure-1 design-flow driver.
+
+Runs one application across the TLM abstraction levels, checking
+functional equivalence and collecting the speed/accuracy profile.
+"""
+
+from repro.flow.driver import (
+    DesignFlow,
+    FlowError,
+    FlowReport,
+    StageResult,
+)
+from repro.flow.mapping import MappedConnection, SystemMapper
+
+__all__ = [
+    "DesignFlow",
+    "FlowError",
+    "FlowReport",
+    "MappedConnection",
+    "StageResult",
+    "SystemMapper",
+]

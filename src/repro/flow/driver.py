@@ -1,0 +1,165 @@
+"""The design-flow driver: run one application across abstraction levels.
+
+Figure 1 of the paper shows a single system description refined through
+component-assembly, CCATB, and communication-architecture models down to
+the prototype.  The promise of a *systematic* flow is that each
+refinement changes only the communication mapping, never the behaviour —
+so the outputs at every level must be identical, while timing fidelity
+grows and simulation speed drops.
+
+:class:`DesignFlow` packages that discipline: each level registers a
+*builder* producing a fresh simulation plus an output probe; the driver
+runs each stage, checks cross-level functional equivalence, and reports
+the speed/accuracy profile.  Experiment F1 and the flow examples are
+written against this driver.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.kernel.context import SimContext
+from repro.kernel.errors import KernelError
+from repro.kernel.simtime import SimTime
+from repro.models.levels import AbstractionLevel
+
+#: A builder returns the fresh context and a zero-arg output extractor
+#: to call after the run.
+StageBuilder = Callable[[], Tuple[SimContext, Callable[[], list]]]
+
+
+class FlowError(KernelError):
+    """A stage failed or the flow is mis-assembled."""
+
+
+@dataclass
+class StageResult:
+    """Outcome of running one abstraction level."""
+
+    level: AbstractionLevel
+    outputs: list
+    sim_time: SimTime
+    wall_seconds: float
+    delta_cycles: int
+
+    @property
+    def sim_ns(self) -> float:
+        """Simulated completion time in nanoseconds."""
+        return self.sim_time.to("ns")
+
+    def speed_events_per_second(self) -> float:
+        """Delta cycles per wall second — a proxy for simulation speed."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.delta_cycles / self.wall_seconds
+
+
+@dataclass
+class FlowReport:
+    """The cross-level summary."""
+
+    name: str
+    results: Dict[AbstractionLevel, StageResult] = field(
+        default_factory=dict
+    )
+
+    @property
+    def levels(self) -> List[AbstractionLevel]:
+        """Levels present, most abstract first."""
+        return sorted(self.results)
+
+    @property
+    def functionally_equivalent(self) -> bool:
+        """All levels produced identical outputs."""
+        outputs = [self.results[lvl].outputs for lvl in self.levels]
+        return all(o == outputs[0] for o in outputs[1:])
+
+    def mismatches(self) -> List[Tuple[AbstractionLevel, AbstractionLevel]]:
+        """Level pairs whose outputs differ."""
+        levels = self.levels
+        bad = []
+        for i, a in enumerate(levels):
+            for b in levels[i + 1:]:
+                if self.results[a].outputs != self.results[b].outputs:
+                    bad.append((a, b))
+        return bad
+
+    def timing_monotone(self) -> bool:
+        """Simulated completion time must not *decrease* as timing
+        detail is added (untimed <= CCATB <= CAM ...)."""
+        times = [self.results[lvl].sim_time for lvl in self.levels]
+        return all(t1 <= t2 for t1, t2 in zip(times, times[1:]))
+
+    def format_table(self) -> str:
+        """Human-readable per-level profile table."""
+        lines = [
+            f"design flow: {self.name}",
+            f"{'level':24} {'sim time':>14} {'deltas':>10} "
+            f"{'wall s':>9} {'deltas/s':>12}",
+        ]
+        for lvl in self.levels:
+            res = self.results[lvl]
+            lines.append(
+                f"{lvl.name:24} {str(res.sim_time):>14} "
+                f"{res.delta_cycles:>10} {res.wall_seconds:>9.4f} "
+                f"{res.speed_events_per_second():>12.0f}"
+            )
+        lines.append(
+            f"functionally equivalent: {self.functionally_equivalent}"
+        )
+        return "\n".join(lines)
+
+
+class DesignFlow:
+    """Register builders per level, then run the whole flow."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._builders: Dict[AbstractionLevel, StageBuilder] = {}
+
+    def register(self, level: AbstractionLevel,
+                 builder: StageBuilder) -> None:
+        """Attach a stage builder to an abstraction level."""
+        if level in self._builders:
+            raise FlowError(
+                f"flow {self.name!r}: level {level.name} already has a "
+                f"builder"
+            )
+        self._builders[level] = builder
+
+    def run_stage(self, level: AbstractionLevel,
+                  max_time: Optional[SimTime] = None) -> StageResult:
+        """Build and simulate one level; returns its result."""
+        try:
+            builder = self._builders[level]
+        except KeyError:
+            raise FlowError(
+                f"flow {self.name!r}: no builder for level {level.name}"
+            ) from None
+        ctx, output_getter = builder()
+        wall_start = time.perf_counter()
+        if max_time is not None:
+            ctx.run(max_time)
+        else:
+            ctx.run()
+        wall = time.perf_counter() - wall_start
+        return StageResult(
+            level=level,
+            outputs=output_getter(),
+            # completion time, not the run horizon: bounded runs advance
+            # `now` to the bound on starvation
+            sim_time=ctx.last_activity_time,
+            wall_seconds=wall,
+            delta_cycles=ctx.delta_count,
+        )
+
+    def run_all(self, max_time: Optional[SimTime] = None) -> FlowReport:
+        """Run every registered stage, most abstract first."""
+        if not self._builders:
+            raise FlowError(f"flow {self.name!r}: no stages registered")
+        report = FlowReport(name=self.name)
+        for level in sorted(self._builders):
+            report.results[level] = self.run_stage(level, max_time)
+        return report

@@ -1,0 +1,270 @@
+"""Automatic mapping of a system's communication onto an architecture.
+
+The paper's abstract promises *"a methodology for automatic mapping of
+the communication part of a system to a given architecture, including
+HW/SW interfaces."*  :class:`SystemMapper` is that methodology as an
+API: the designer declares the system's point-to-point SHIP connections
+once — with each endpoint marked HW or SW — and selects a target; the
+mapper allocates all communication resources:
+
+=========  ==========================================================
+target     what a connection becomes
+=========  ==========================================================
+``pv``     one untimed :class:`ShipChannel`
+``ccatb``  one :class:`ShipChannel` with the mapper's timing annotation
+a fabric   HW<->HW: a SHIP-over-bus link (mailbox + wrappers), with
+           mailbox addresses allocated automatically;
+           SW->HW: the generic HW/SW interface, SW-master orientation
+           (device driver + communication library);
+           HW->SW: the HW/SW interface, HW-master orientation;
+           SW<->SW: a local channel accessed through the RTOS
+           communication library on both ends
+=========  ==========================================================
+
+PE code binds SHIP ports to the returned attachment exactly as at the
+component-assembly level; SW tasks call the returned port object.  No
+endpoint source changes between targets — the paper's core promise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.kernel.errors import ElaborationError
+from repro.kernel.module import Module
+from repro.kernel.simtime import SimTime, ZERO_TIME
+from repro.models.wrappers import build_ship_over_bus
+from repro.rtos.core import Rtos
+from repro.ship.channel import ShipChannel, ShipTiming
+from repro.esw.synthesis import SwChannelPort
+from repro.hwsw.interface import (
+    build_sw_master_interface,
+    build_sw_slave_interface,
+)
+
+
+@dataclass
+class MappedConnection:
+    """The realized resources for one point-to-point connection.
+
+    ``master_attach`` / ``slave_attach`` are what the two endpoints
+    use: a :class:`ShipChannel` for HW PEs (bind a SHIP port to it) or
+    a SW port object for RTOS tasks (call the four SHIP methods on it).
+    """
+
+    name: str
+    master_kind: str   # "hw" | "sw"
+    slave_kind: str    # "hw" | "sw"
+    mapping: str       # human-readable resource description
+    master_attach: object = None
+    slave_attach: object = None
+    link: object = None   # the underlying link/interface object, if any
+
+    def as_row(self) -> Dict[str, str]:
+        """Flat dict row for the mapping report."""
+        return {
+            "connection": self.name,
+            "master": self.master_kind,
+            "slave": self.slave_kind,
+            "mapped_to": self.mapping,
+        }
+
+
+class SystemMapper:
+    """Allocates communication resources for SHIP connections.
+
+    Parameters
+    ----------
+    parent:
+        Module under which mapper-created objects live.
+    target:
+        ``"pv"``, ``"ccatb"``, or a fabric instance (any object with
+        ``attach_slave`` and ``master_socket`` — the CAM duck type).
+    rtos:
+        Required when any endpoint is software.
+    ship_timing:
+        The CCATB annotation (``target="ccatb"``).
+    mailbox_base / mailbox_stride:
+        Address allocator for fabric-mapped connections.
+    """
+
+    def __init__(
+        self,
+        parent: Module,
+        target: Union[str, object] = "pv",
+        rtos: Optional[Rtos] = None,
+        ship_timing: Optional[ShipTiming] = None,
+        mailbox_base: int = 0x100000,
+        mailbox_stride: int = 0x10000,
+        capacity_words: int = 64,
+        use_irq: bool = False,
+        poll_interval: Optional[SimTime] = None,
+        driver_overhead: SimTime = ZERO_TIME,
+    ):
+        if isinstance(target, str):
+            if target not in ("pv", "ccatb"):
+                raise ElaborationError(
+                    f"unknown mapping target {target!r}; pass 'pv', "
+                    f"'ccatb', or a fabric instance"
+                )
+            self.fabric = None
+        else:
+            for attr in ("attach_slave", "master_socket"):
+                if not hasattr(target, attr):
+                    raise ElaborationError(
+                        f"mapping target must provide {attr}()"
+                    )
+            self.fabric = target
+            target = "cam"
+        self.target = target
+        self.parent = parent
+        self.rtos = rtos
+        self.ship_timing = ship_timing or ShipTiming()
+        self.capacity_words = capacity_words
+        self.use_irq = use_irq
+        self.poll_interval = poll_interval
+        self.driver_overhead = driver_overhead
+        self._next_base = mailbox_base
+        self._stride = mailbox_stride
+        self.connections: List[MappedConnection] = []
+        self._names: set = set()
+
+    # -- address allocation -------------------------------------------------------
+
+    def _allocate_base(self) -> int:
+        base = self._next_base
+        self._next_base += self._stride
+        return base
+
+    def _require_rtos(self, name: str) -> Rtos:
+        if self.rtos is None:
+            raise ElaborationError(
+                f"connection {name!r} has a software endpoint but the "
+                f"mapper was built without an RTOS"
+            )
+        return self.rtos
+
+    # -- the mapping step ------------------------------------------------------------
+
+    def connect(self, name: str, master: str = "hw",
+                slave: str = "hw",
+                bus_priority: int = 0) -> MappedConnection:
+        """Map one directed point-to-point connection.
+
+        ``bus_priority`` sets the fabric arbitration priority of the
+        master-side attachment (lower wins); ignored for channel
+        targets.
+        """
+        if name in self._names:
+            raise ElaborationError(
+                f"connection name {name!r} already mapped"
+            )
+        if master not in ("hw", "sw") or slave not in ("hw", "sw"):
+            raise ElaborationError(
+                f"endpoint kinds must be 'hw' or 'sw', got "
+                f"{master!r}/{slave!r}"
+            )
+        self._names.add(name)
+        if self.target == "pv":
+            conn = self._map_channel(name, master, slave,
+                                     timing=None, label="untimed channel")
+        elif self.target == "ccatb":
+            conn = self._map_channel(name, master, slave,
+                                     timing=self.ship_timing,
+                                     label="annotated channel (CCATB)")
+        else:
+            conn = self._map_fabric(name, master, slave, bus_priority)
+        self.connections.append(conn)
+        return conn
+
+    def _map_channel(self, name, master, slave, timing,
+                     label) -> MappedConnection:
+        channel = ShipChannel(f"{name}_ch", self.parent, timing=timing)
+        master_attach: object = channel
+        slave_attach: object = channel
+        if master == "sw":
+            master_attach = SwChannelPort(self._require_rtos(name),
+                                          channel)
+            label += " + SW comm library (master)"
+        if slave == "sw":
+            slave_attach = SwChannelPort(self._require_rtos(name),
+                                         channel)
+            label += " + SW comm library (slave)"
+        return MappedConnection(
+            name=name, master_kind=master, slave_kind=slave,
+            mapping=label,
+            master_attach=master_attach, slave_attach=slave_attach,
+            link=channel,
+        )
+
+    def _map_fabric(self, name, master, slave,
+                    bus_priority: int = 0) -> MappedConnection:
+        fabric_name = getattr(self.fabric, "full_name", "fabric")
+        if master == "sw" and slave == "sw":
+            # same-CPU software: local channel via the comm library;
+            # no bus resources needed
+            return self._map_channel(
+                name, master, slave, timing=None,
+                label="local channel (same CPU)",
+            )
+        if master == "hw" and slave == "hw":
+            base = self._allocate_base()
+            link = build_ship_over_bus(
+                f"{name}_lnk", self.parent, self.fabric, base,
+                master_priority=bus_priority,
+                capacity_words=self.capacity_words,
+                use_irq=self.use_irq,
+                poll_interval=self.poll_interval,
+            )
+            return MappedConnection(
+                name=name, master_kind=master, slave_kind=slave,
+                mapping=(f"SHIP-over-{fabric_name} link, mailbox @ "
+                         f"{base:#x}"),
+                master_attach=link.master_channel,
+                slave_attach=link.slave_channel,
+                link=link,
+            )
+        if master == "sw":
+            base = self._allocate_base()
+            link = build_sw_master_interface(
+                f"{name}_hwsw", self.parent, self.fabric,
+                self._require_rtos(name), base,
+                capacity_words=self.capacity_words,
+                use_irq=self.use_irq,
+                poll_interval=self.poll_interval or ZERO_TIME,
+                access_overhead=self.driver_overhead,
+                cpu_priority=bus_priority,
+            )
+            return MappedConnection(
+                name=name, master_kind=master, slave_kind=slave,
+                mapping=(f"HW/SW interface (SW master) on "
+                         f"{fabric_name}, mailbox @ {base:#x}"),
+                master_attach=link.sw_port,
+                slave_attach=link.hw_channel,
+                link=link,
+            )
+        # hw master, sw slave
+        base = self._allocate_base()
+        link = build_sw_slave_interface(
+            f"{name}_hwsw", self.parent, self.fabric,
+            self._require_rtos(name), base,
+            capacity_words=self.capacity_words,
+            hw_poll_interval=self.poll_interval,
+            access_overhead=self.driver_overhead,
+            hw_priority=bus_priority,
+        )
+        return MappedConnection(
+            name=name, master_kind=master, slave_kind=slave,
+            mapping=(f"HW/SW interface (HW master) on {fabric_name}, "
+                     f"mailbox @ {base:#x}"),
+            master_attach=link.hw_channel,
+            slave_attach=link.sw_port,
+            link=link,
+        )
+
+    # -- reporting -------------------------------------------------------------------
+
+    def report_rows(self) -> List[Dict[str, str]]:
+        """The mapping table: one row per connection."""
+        return [conn.as_row() for conn in self.connections]

@@ -1,0 +1,100 @@
+"""The SW communication library: SHIP interface method calls for tasks.
+
+The second half of the paper's SW adapter: *"the communication library
+implements the SHIP channel interface method calls"*.  A software task
+calls ``send`` / ``recv`` / ``request`` / ``reply`` exactly as a
+hardware PE calls them on a :class:`~repro.ship.ports.ShipPort` — the
+code is source-compatible, which is what lets eSW generation leave PE
+behaviour untouched when one side of a SHIP channel moves into software.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Set
+
+from repro.kernel.errors import SimulationError
+from repro.models.mailbox import CTRL_REQUEST
+from repro.ship.roles import Role, classify
+from repro.ship.serializable import decode_message, encode_message
+from repro.hwsw.driver import LocalMailboxDriver, MailboxDriver
+
+
+class SwShipMaster:
+    """SHIP master calls over a remote (HW-side) mailbox.
+
+    The software side initiates: ``send`` pushes a message through the
+    device driver; ``request`` pushes and then waits for the HW reply
+    via the driver's handshake (IRQ or polling).
+    """
+
+    def __init__(self, driver: MailboxDriver):
+        self.driver = driver
+        self.calls_used: Set[str] = set()
+        self.messages_sent = 0
+        self.replies_received = 0
+
+    def send(self, obj) -> Generator:
+        """Blocking one-way transfer through the device driver."""
+        self.calls_used.add("send")
+        payload = encode_message(obj)
+        yield from self.driver.push_message(payload, is_request=False)
+        self.messages_sent += 1
+
+    def request(self, obj) -> Generator:
+        """Blocking round trip; waits for the HW reply."""
+        self.calls_used.add("request")
+        payload = encode_message(obj)
+        yield from self.driver.push_message(payload, is_request=True)
+        self.messages_sent += 1
+        reply_bytes, _ = yield from self.driver.pull_message()
+        self.replies_received += 1
+        reply, _ = decode_message(reply_bytes)
+        return reply
+
+    @property
+    def detected_role(self) -> Role:
+        """Role of this endpoint from observed calls."""
+        return classify(self.calls_used)
+
+
+class SwShipSlave:
+    """SHIP slave calls over a CPU-local mailbox (hardware initiates)."""
+
+    def __init__(self, driver: LocalMailboxDriver):
+        self.driver = driver
+        self.calls_used: Set[str] = set()
+        self._unanswered: deque = deque()
+        self.messages_received = 0
+        self.replies_sent = 0
+
+    def recv(self) -> Generator:
+        """Blocking receive from the CPU-local mailbox."""
+        self.calls_used.add("recv")
+        payload, ctrl = yield from self.driver.pull_in_message()
+        obj, _ = decode_message(payload)
+        if ctrl & CTRL_REQUEST:
+            self._unanswered.append(True)
+        self.messages_received += 1
+        return obj
+
+    def reply(self, obj) -> Generator:
+        """Answer the oldest outstanding request."""
+        self.calls_used.add("reply")
+        if not self._unanswered:
+            raise SimulationError(
+                "SW SHIP slave: reply() with no outstanding request"
+            )
+        self._unanswered.popleft()
+        yield from self.driver.push_out_message(encode_message(obj))
+        self.replies_sent += 1
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests received and not yet replied to."""
+        return len(self._unanswered)
+
+    @property
+    def detected_role(self) -> Role:
+        """Role of this endpoint from observed calls."""
+        return classify(self.calls_used)

@@ -1,0 +1,85 @@
+"""A small interrupt controller: sideband signals into the CPU.
+
+The paper's HW adapter exchanges data with the SW adapter through
+*shared memory and sideband signals*; the sideband signals are interrupt
+lines.  :class:`IrqController` aggregates several level-sensitive lines
+into one CPU interrupt event with a pending mask — enough to let several
+HW/SW channels share one CPU interrupt, as the CoreConnect + embedded
+Linux target of the paper would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.kernel.errors import SimulationError
+from repro.kernel.event import Event
+from repro.kernel.module import Module
+from repro.kernel.signal import Signal
+
+
+class IrqController(Module):
+    """Aggregates level-sensitive IRQ lines into one CPU event."""
+
+    def __init__(self, name, parent=None, ctx=None, lines: int = 8):
+        super().__init__(name, parent, ctx)
+        if lines < 1:
+            raise SimulationError(
+                f"irq controller {name!r}: needs at least one line"
+            )
+        self.lines = lines
+        self._sources: Dict[int, Signal] = {}
+        self._enabled = (1 << lines) - 1
+        #: notified whenever an enabled line rises
+        self.cpu_irq = Event(self, f"{self.full_name}.cpu_irq")
+        self.irq_count = 0
+
+    def connect(self, line: int, signal: Signal) -> None:
+        """Attach a level-sensitive source signal to ``line``."""
+        if not 0 <= line < self.lines:
+            raise SimulationError(
+                f"irq controller {self.full_name}: line {line} out of "
+                f"range 0..{self.lines - 1}"
+            )
+        if line in self._sources:
+            raise SimulationError(
+                f"irq controller {self.full_name}: line {line} already "
+                f"connected"
+            )
+        self._sources[line] = signal
+        signal.on_change(
+            lambda sig, old, new, line=line: self._on_change(line, new)
+        )
+
+    def _on_change(self, line: int, level) -> None:
+        if level and self._enabled & (1 << line):
+            self.irq_count += 1
+            self.cpu_irq.notify_delta()
+
+    # -- CPU-side interface ------------------------------------------------------
+
+    @property
+    def pending_mask(self) -> int:
+        """Currently-asserted enabled lines (level sensitive)."""
+        mask = 0
+        for line, signal in self._sources.items():
+            if signal.read() and self._enabled & (1 << line):
+                mask |= 1 << line
+        return mask
+
+    def pending_lines(self) -> List[int]:
+        """Indices of asserted, enabled lines."""
+        mask = self.pending_mask
+        return [i for i in range(self.lines) if mask & (1 << i)]
+
+    def enable(self, line: int) -> None:
+        """Unmask one line."""
+        self._enabled |= 1 << line
+
+    def disable(self, line: int) -> None:
+        """Mask one line."""
+        self._enabled &= ~(1 << line)
+
+    def is_enabled(self, line: int) -> bool:
+        """True if the line is unmasked."""
+        return bool(self._enabled & (1 << line))

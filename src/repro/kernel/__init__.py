@@ -1,0 +1,115 @@
+"""``repro.kernel`` — a SystemC-like discrete-event simulation kernel.
+
+The kernel reimplements, in Python, the subset of IEEE 1666 SystemC that
+the paper's TLM methodology rests on: delta-cycle scheduling, events with
+immediate/delta/timed notification, thread and method processes, modules
+with hierarchical naming, ports/exports with elaboration-time binding
+checks, signals with evaluate/update semantics, bounded FIFOs, clocks,
+and synchronization primitives.
+
+Quick start::
+
+    from repro.kernel import SimContext, Module, Fifo, FifoIn, FifoOut, ns
+
+    class Producer(Module):
+        def __init__(self, name, parent=None, ctx=None):
+            super().__init__(name, parent, ctx)
+            self.out = FifoOut("out", self)
+            self.add_thread(self.run)
+
+        def run(self):
+            for i in range(4):
+                yield ns(10)
+                yield from self.out.write(i)
+
+    ctx = SimContext()
+    top = Module("top", ctx=ctx)
+    fifo = Fifo("fifo", top, capacity=2)
+    prod = Producer("prod", top)
+    prod.out.bind(fifo)
+    ctx.run()
+"""
+
+from repro.kernel.clock import Clock
+from repro.kernel.context import SimContext
+from repro.kernel.errors import (
+    BindingError,
+    ElaborationError,
+    KernelError,
+    ProcessError,
+    SimulationError,
+    TimeError,
+)
+from repro.kernel.event import Event, all_of, any_of
+from repro.kernel.event_queue import EventQueue
+from repro.kernel.fifo import Fifo, FifoIn, FifoOut
+from repro.kernel.module import Module, method_process, thread_process
+from repro.kernel.object import SimObject
+from repro.kernel.port import Export, Port
+from repro.kernel.process import (
+    MethodProcess,
+    Process,
+    ProcessState,
+    ThreadProcess,
+    wait,
+)
+from repro.kernel.report import Report, ReportedError, Reporter, Severity
+from repro.kernel.signal import Signal, SignalIn, SignalOut, signal_bus
+from repro.kernel.simtime import (
+    ZERO_TIME,
+    SimTime,
+    fs,
+    ms,
+    ns,
+    ps,
+    sec,
+    us,
+)
+from repro.kernel.sync import Mutex, Semaphore
+
+__all__ = [
+    "BindingError",
+    "Clock",
+    "ElaborationError",
+    "Event",
+    "EventQueue",
+    "Export",
+    "Fifo",
+    "FifoIn",
+    "FifoOut",
+    "KernelError",
+    "MethodProcess",
+    "Module",
+    "Mutex",
+    "Port",
+    "Process",
+    "ProcessError",
+    "ProcessState",
+    "Report",
+    "ReportedError",
+    "Reporter",
+    "Semaphore",
+    "Severity",
+    "SignalIn",
+    "SignalOut",
+    "Signal",
+    "SimContext",
+    "SimObject",
+    "SimTime",
+    "SimulationError",
+    "ThreadProcess",
+    "TimeError",
+    "ZERO_TIME",
+    "all_of",
+    "any_of",
+    "fs",
+    "method_process",
+    "ms",
+    "ns",
+    "ps",
+    "sec",
+    "signal_bus",
+    "thread_process",
+    "us",
+    "wait",
+]

@@ -1,0 +1,77 @@
+"""Clock: a self-toggling boolean signal, mirroring ``sc_clock``."""
+
+from __future__ import annotations
+
+
+from repro.kernel.errors import SimulationError
+from repro.kernel.signal import Signal
+from repro.kernel.simtime import SimTime, ZERO_TIME
+
+
+class Clock(Signal):
+    """A periodic boolean signal.
+
+    Parameters
+    ----------
+    period:
+        Clock period (must be positive).
+    duty_cycle:
+        Fraction of the period the clock is high, ``0 < duty < 1``.
+    start_time:
+        Absolute time of the first edge.
+    posedge_first:
+        If True (default) the first edge is a rising edge.
+    """
+
+    def __init__(
+        self,
+        name,
+        parent=None,
+        ctx=None,
+        period: SimTime = None,
+        duty_cycle: float = 0.5,
+        start_time: SimTime = ZERO_TIME,
+        posedge_first: bool = True,
+    ):
+        super().__init__(name, parent, ctx, init=not posedge_first,
+                         check_writer=False)
+        if period is None or period == ZERO_TIME:
+            raise SimulationError(f"clock {name!r} needs a positive period")
+        if not 0.0 < duty_cycle < 1.0:
+            raise SimulationError(
+                f"clock {name!r}: duty_cycle must be in (0, 1), "
+                f"got {duty_cycle}"
+            )
+        self.period = period
+        self.duty_cycle = duty_cycle
+        self.start_time = start_time
+        self.posedge_first = posedge_first
+        high_fs = round(period.femtoseconds * duty_cycle)
+        self._high_time = SimTime(high_fs)
+        self._low_time = SimTime(period.femtoseconds - high_fs)
+        self.ctx.register_thread(self._toggle, f"{self.full_name}._toggle")
+
+    def _toggle(self):
+        if self.start_time > ZERO_TIME:
+            yield self.start_time
+        # The first edge moves the clock away from its init value.
+        while True:
+            if self.posedge_first:
+                self.write(True)
+                yield self._high_time
+                self.write(False)
+                yield self._low_time
+            else:
+                self.write(False)
+                yield self._low_time
+                self.write(True)
+                yield self._high_time
+
+    def cycles(self, count: int) -> SimTime:
+        """Duration of ``count`` clock periods."""
+        return self.period * count
+
+    @property
+    def frequency_hz(self) -> float:
+        """Clock frequency in Hz."""
+        return 1.0 / self.period.to("sec")

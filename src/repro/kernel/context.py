@@ -1,0 +1,474 @@
+"""The simulation context: object registry, elaboration, and scheduler.
+
+:class:`SimContext` owns everything for one simulation: the hierarchy of
+simulation objects, the process list, the event queues, and simulated
+time.  There is intentionally *no* global context (unlike SystemC's
+``sc_get_curr_simcontext``): a context is created explicitly and passed
+to top-level modules, which keeps independent simulations isolated and
+makes tests hermetic.
+
+Scheduling follows the IEEE 1666 evaluate/update/delta/timed cycle:
+
+1. **Evaluation** — run every runnable process.  Immediate event
+   notifications make processes runnable within the same phase.
+2. **Update** — primitive channels that called :meth:`request_update`
+   perform their update (e.g. a signal copies its next value to its
+   current value), typically issuing delta notifications.
+3. **Delta notification** — pending delta notifications trigger their
+   events, waking processes for the next delta cycle.  If any process
+   became runnable, loop back to 1 without advancing time.
+4. **Timed notification** — otherwise advance simulated time to the
+   earliest pending timed notification and trigger everything scheduled
+   at that instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.kernel.errors import ElaborationError, SimulationError
+from repro.kernel.event import Event
+from repro.kernel.process import (
+    MethodProcess,
+    Process,
+    ProcessState,
+    ThreadProcess,
+    WaitCondition,
+    WaitMode,
+    sensitivity_events,
+)
+from repro.kernel.report import Reporter
+from repro.kernel.simtime import SimTime, ZERO_TIME
+
+
+class _TimedEntry:
+    """One entry in the timed-notification heap."""
+
+    __slots__ = ("when", "seq", "kind", "payload", "cancelled")
+
+    def __init__(self, when: SimTime, seq: int, kind: str, payload):
+        self.when = when
+        self.seq = seq
+        self.kind = kind  # "event" or "resume"
+        self.payload = payload
+        self.cancelled = False
+
+    def __lt__(self, other: "_TimedEntry") -> bool:
+        if self.when != other.when:
+            return self.when < other.when
+        return self.seq < other.seq
+
+
+class SimContext:
+    """A complete, self-contained simulation."""
+
+    def __init__(
+        self,
+        name: str = "sim",
+        reporter: Optional[Reporter] = None,
+        max_deltas_per_timestep: int = 100_000,
+    ):
+        self.name = name
+        self.reporter = reporter if reporter is not None else Reporter()
+        self.max_deltas_per_timestep = max_deltas_per_timestep
+
+        self._now: SimTime = ZERO_TIME
+        self._last_activity: SimTime = ZERO_TIME
+        self._delta_count: int = 0
+        self._deltas_this_timestep: int = 0
+        self._seq = itertools.count()
+
+        self._runnable: deque = deque()
+        self._update_queue: List = []
+        self._update_set: set = set()
+        self._delta_events: List[Event] = []
+        self._timed_heap: List[_TimedEntry] = []
+
+        #: name -> simulation object (modules, ports, channels...)
+        self.objects: Dict[str, object] = {}
+        #: top-level simulation objects, in creation order
+        self.top_objects: List[object] = []
+        self.processes: List[Process] = []
+        #: (process, raw sensitivity sources) resolved at elaboration
+        self._pending_sensitivity: List = []
+
+        self.current_process: Optional[Process] = None
+        self.elaborated = False
+        self._stop_requested = False
+        self._running = False
+        self._failure: Optional[BaseException] = None
+        #: Hooks called at end of elaboration / start and end of simulation.
+        self._elab_hooks: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # time & status
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> SimTime:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def delta_count(self) -> int:
+        """Total delta cycles executed since the start of simulation."""
+        return self._delta_count
+
+    @property
+    def last_activity_time(self) -> SimTime:
+        """Time the last process ran.
+
+        Unlike :attr:`now`, this does not advance to a run's horizon on
+        starvation — it is the workload's actual completion time.
+        """
+        return self._last_activity
+
+    # ------------------------------------------------------------------
+    # object registry
+    # ------------------------------------------------------------------
+
+    def register_object(self, obj, parent) -> None:
+        """Register a simulation object (called by SimObject)."""
+        name = obj.full_name
+        if name in self.objects:
+            raise ElaborationError(
+                f"duplicate simulation object name: {name!r}"
+            )
+        self.objects[name] = obj
+        if parent is None:
+            self.top_objects.append(obj)
+
+    def find_object(self, full_name: str):
+        """Look up a simulation object by hierarchical name."""
+        return self.objects.get(full_name)
+
+    # ------------------------------------------------------------------
+    # process registration
+    # ------------------------------------------------------------------
+
+    def register_thread(
+        self,
+        fn: Callable[[], Generator],
+        name: str,
+        sensitive=(),
+        dont_initialize: bool = False,
+    ) -> ThreadProcess:
+        """Register a thread process (before elaboration)."""
+        self._check_not_elaborated("register_thread")
+        proc = ThreadProcess(self, name, fn, dont_initialize)
+        self.processes.append(proc)
+        if sensitive:
+            self._pending_sensitivity.append((proc, tuple(sensitive)))
+        return proc
+
+    def register_method(
+        self,
+        fn: Callable[[], None],
+        name: str,
+        sensitive=(),
+        dont_initialize: bool = False,
+    ) -> MethodProcess:
+        """Register a method process (before elaboration)."""
+        self._check_not_elaborated("register_method")
+        proc = MethodProcess(self, name, fn, dont_initialize)
+        self.processes.append(proc)
+        if sensitive:
+            self._pending_sensitivity.append((proc, tuple(sensitive)))
+        return proc
+
+    def spawn(self, fn: Callable[[], Generator], name: str) -> ThreadProcess:
+        """Dynamically spawn a thread process during simulation."""
+        proc = ThreadProcess(self, name, fn)
+        self.processes.append(proc)
+        if not self.elaborated:
+            return proc
+        proc.state = ProcessState.READY
+        self._runnable.append(proc)
+        return proc
+
+    def unregister_process(self, proc: Process) -> None:
+        """Remove a registered process before elaboration.
+
+        Used by the eSW synthesizer, which re-hosts a PE's behaviour
+        functions as RTOS tasks and must stop the kernel from also
+        running them natively.
+        """
+        self._check_not_elaborated("unregister_process")
+        self.processes.remove(proc)
+        self._pending_sensitivity = [
+            (p, sources) for p, sources in self._pending_sensitivity
+            if p is not proc
+        ]
+
+    def processes_of(self, obj) -> List[Process]:
+        """Processes whose names live under ``obj``'s hierarchy."""
+        prefix = f"{obj.full_name}."
+        return [p for p in self.processes if p.name.startswith(prefix)]
+
+    def _check_not_elaborated(self, what: str) -> None:
+        if self.elaborated:
+            raise ElaborationError(
+                f"{what} is only legal before elaboration"
+            )
+
+    def _process_failed(self, process: Process, exc: BaseException) -> None:
+        """A process raised: record the failure and stop the simulation."""
+        if self._failure is None:
+            self._failure = exc
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # elaboration
+    # ------------------------------------------------------------------
+
+    def add_elaboration_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` at the end of elaboration."""
+        self._elab_hooks.append(hook)
+
+    def elaborate(self) -> None:
+        """Finalize the design: bind ports, resolve sensitivity, init."""
+        if self.elaborated:
+            return
+        # Give modules a chance to finish construction-time wiring.
+        for obj in list(self.objects.values()):
+            hook = getattr(obj, "before_end_of_elaboration", None)
+            if hook is not None:
+                hook()
+        # Complete port binding (ports registered themselves at creation).
+        for obj in list(self.objects.values()):
+            binder = getattr(obj, "complete_binding", None)
+            if binder is not None:
+                binder()
+        # Resolve static sensitivity now that ports are bound.
+        for proc, sources in self._pending_sensitivity:
+            for ev in sensitivity_events(sources):
+                proc.add_static_sensitivity(ev)
+        self._pending_sensitivity.clear()
+        for obj in list(self.objects.values()):
+            hook = getattr(obj, "end_of_elaboration", None)
+            if hook is not None:
+                hook()
+        for hook in self._elab_hooks:
+            hook()
+        self.elaborated = True
+        # Initialization phase: every process runs once unless it opted out.
+        for proc in self.processes:
+            if getattr(proc, "dont_initialize", False):
+                proc._apply_wait(WaitCondition(WaitMode.STATIC))
+            else:
+                proc.state = ProcessState.READY
+                self._runnable.append(proc)
+        for obj in list(self.objects.values()):
+            hook = getattr(obj, "start_of_simulation", None)
+            if hook is not None:
+                hook()
+
+    # ------------------------------------------------------------------
+    # scheduling services (used by Event, Process, channels)
+    # ------------------------------------------------------------------
+
+    def make_runnable(self, process: Process) -> None:
+        """Queue a process for the current evaluation phase."""
+        self._runnable.append(process)
+
+    def schedule_delta_event(self, event: Event) -> None:
+        """Queue an event for the next delta cycle."""
+        self._delta_events.append(event)
+
+    def schedule_timed_event(self, event: Event, when: SimTime) -> _TimedEntry:
+        """Schedule an event notification at ``when``."""
+        entry = _TimedEntry(when, next(self._seq), "event", event)
+        heapq.heappush(self._timed_heap, entry)
+        return entry
+
+    def schedule_timed_resume(self, process: Process, when: SimTime) -> _TimedEntry:
+        """Schedule a process timeout wake-up at ``when``."""
+        entry = _TimedEntry(when, next(self._seq), "resume", process)
+        heapq.heappush(self._timed_heap, entry)
+        return entry
+
+    def request_update(self, channel) -> None:
+        """Queue ``channel._perform_update`` for the update phase."""
+        if id(channel) not in self._update_set:
+            self._update_set.add(id(channel))
+            self._update_queue.append(channel)
+
+    # ------------------------------------------------------------------
+    # simulation control
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request the simulation to stop at the end of the current delta."""
+        self._stop_requested = True
+
+    def run(
+        self,
+        duration: Optional[SimTime] = None,
+        until: Optional[SimTime] = None,
+    ) -> SimTime:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        duration:
+            Run for this much simulated time from :attr:`now`.
+        until:
+            Run until this absolute simulated time.
+
+        With neither given, runs until event starvation or :meth:`stop`.
+        Returns the simulation time when the run ended.
+        """
+        if self._running:
+            raise SimulationError(
+                "run() called re-entrantly (e.g. from inside a process)"
+            )
+        if not self.elaborated:
+            self.elaborate()
+        if duration is not None and until is not None:
+            raise SimulationError("pass either duration or until, not both")
+        limit: Optional[SimTime] = None
+        if duration is not None:
+            limit = self._now + duration
+        elif until is not None:
+            if until < self._now:
+                raise SimulationError(
+                    f"cannot run until {until}: already at {self._now}"
+                )
+            limit = until
+
+        self._stop_requested = False
+        self._running = True
+        try:
+            self._event_loop(limit)
+        finally:
+            self._running = False
+        if self._failure is not None:
+            failure, self._failure = self._failure, None
+            raise failure
+        if limit is not None and self._now < limit and not self._stop_requested:
+            # Starved before the limit: time still advances to the limit so
+            # that consecutive run() calls compose predictably.
+            self._now = limit
+        return self._now
+
+    def run_all(self, max_time: Optional[SimTime] = None) -> SimTime:
+        """Run until starvation (optionally bounded by ``max_time``)."""
+        return self.run(until=max_time) if max_time is not None else self.run()
+
+    # ------------------------------------------------------------------
+    # the scheduler proper
+    # ------------------------------------------------------------------
+
+    def _event_loop(self, limit: Optional[SimTime]) -> None:
+        while True:
+            # -- evaluation phase --------------------------------------
+            ran_any = bool(self._runnable)
+            if ran_any:
+                self._last_activity = self._now
+            while self._runnable:
+                proc = self._runnable.popleft()
+                self.current_process = proc
+                proc._dispatch()
+                self.current_process = None
+                if self._stop_requested:
+                    break
+            if self._stop_requested:
+                return
+
+            # -- update phase ------------------------------------------
+            if self._update_queue:
+                updates = self._update_queue
+                self._update_queue = []
+                self._update_set.clear()
+                for channel in updates:
+                    channel._perform_update()
+
+            # -- delta notification phase --------------------------------
+            if self._delta_events:
+                events = self._delta_events
+                self._delta_events = []
+                for ev in events:
+                    ev._fire_scheduled("delta")
+
+            if self._runnable:
+                self._delta_count += 1
+                self._deltas_this_timestep += 1
+                if self._deltas_this_timestep > self.max_deltas_per_timestep:
+                    raise SimulationError(
+                        f"more than {self.max_deltas_per_timestep} delta "
+                        f"cycles at time {self._now}; the model is probably "
+                        f"in a zero-time activity loop"
+                    )
+                continue
+
+            if ran_any and not self._timed_heap:
+                # Give one more pass in case the update phase scheduled work.
+                if self._runnable or self._delta_events or self._update_queue:
+                    continue
+
+            # -- timed notification phase --------------------------------
+            entry = self._pop_live_timed()
+            if entry is None:
+                return  # starvation
+            if limit is not None and entry.when > limit:
+                # Put it back; it is beyond this run's horizon.
+                heapq.heappush(self._timed_heap, entry)
+                self._now = limit
+                return
+            self._advance_time(entry.when)
+            self._fire_timed(entry)
+            # Fire everything else scheduled at the same instant.
+            while self._timed_heap and self._timed_heap[0].when == entry.when:
+                nxt = self._pop_live_timed()
+                if nxt is None:
+                    break
+                if nxt.when != entry.when:
+                    heapq.heappush(self._timed_heap, nxt)
+                    break
+                self._fire_timed(nxt)
+            self._delta_count += 1
+
+    def _advance_time(self, when: SimTime) -> None:
+        self._now = when
+        self._deltas_this_timestep = 0
+
+    def _pop_live_timed(self) -> Optional[_TimedEntry]:
+        while self._timed_heap:
+            entry = heapq.heappop(self._timed_heap)
+            if not entry.cancelled:
+                return entry
+        return None
+
+    def _fire_timed(self, entry: _TimedEntry) -> None:
+        if entry.kind == "event":
+            entry.payload._fire_scheduled("timed")
+        else:  # "resume"
+            entry.payload._timeout_fired()
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_activity(self) -> bool:
+        """True if any work (runnable, delta, or timed) remains."""
+        return bool(
+            self._runnable
+            or self._delta_events
+            or self._update_queue
+            or any(not e.cancelled for e in self._timed_heap)
+        )
+
+    def time_of_next_activity(self) -> Optional[SimTime]:
+        """Earliest pending timed notification, or None."""
+        live = [e.when for e in self._timed_heap if not e.cancelled]
+        return min(live) if live else None
+
+    def __repr__(self) -> str:
+        return (
+            f"SimContext({self.name!r}, now={self._now}, "
+            f"deltas={self._delta_count}, objects={len(self.objects)})"
+        )

@@ -1,0 +1,222 @@
+"""Simulation events with SystemC notification semantics.
+
+An :class:`Event` is the kernel's only synchronization primitive; every
+higher-level construct (signals, FIFOs, SHIP channels, bus handshakes)
+reduces to events.  The notification rules follow IEEE 1666:
+
+* ``notify()`` — *immediate*: waiting processes become runnable in the
+  current evaluation phase.
+* ``notify_delta()`` — *delta*: waiting processes become runnable in the
+  next delta cycle.
+* ``notify_after(t)`` — *timed*: the event triggers at ``now + t``.
+
+An event carries at most one pending (delta or timed) notification.  A new
+notification is discarded if it would trigger no earlier than the pending
+one; an earlier notification overrides the pending one.  Immediate
+notification always takes effect and cancels any pending notification.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.kernel.simtime import SimTime, ZERO_TIME
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.context import SimContext
+    from repro.kernel.process import Process
+
+
+def _resolve_ctx(owner) -> "SimContext":
+    """Accept either a SimContext or any object exposing ``.ctx``."""
+    ctx = getattr(owner, "ctx", owner)
+    if not hasattr(ctx, "schedule_delta_event"):
+        raise TypeError(
+            f"Event owner must be a SimContext or a simulation object, "
+            f"got {type(owner).__name__}"
+        )
+    return ctx
+
+
+class Event:
+    """A notifiable simulation event.
+
+    Parameters
+    ----------
+    owner:
+        The :class:`~repro.kernel.context.SimContext` this event belongs
+        to, or any simulation object exposing a ``ctx`` attribute.
+    name:
+        Optional diagnostic name (shown in traces and error messages).
+    """
+
+    __slots__ = (
+        "ctx",
+        "name",
+        "_static_waiters",
+        "_dynamic_waiters",
+        "_pending_kind",
+        "_pending_handle",
+        "_trigger_count",
+        "_last_trigger_delta",
+    )
+
+    def __init__(self, owner, name: str = ""):
+        self.ctx = _resolve_ctx(owner)
+        self.name = name or f"event_{id(self):x}"
+        #: Processes statically sensitive to this event.
+        self._static_waiters: List["Process"] = []
+        #: Processes dynamically waiting on this event right now.
+        self._dynamic_waiters: List["Process"] = []
+        #: None | "delta" | "timed"
+        self._pending_kind: Optional[str] = None
+        #: For timed notifications: the scheduler handle (for cancel and
+        #: for comparing trigger times).
+        self._pending_handle = None
+        self._trigger_count = 0
+        self._last_trigger_delta = -1
+
+    # -- notification API ------------------------------------------------
+
+    def notify(self) -> None:
+        """Immediate notification: trigger in the current evaluation phase."""
+        self.cancel()
+        self._trigger()
+
+    def notify_delta(self) -> None:
+        """Notify in the next delta cycle."""
+        if self._pending_kind == "delta":
+            return  # already pending as early as possible (short of immediate)
+        if self._pending_kind == "timed":
+            self._cancel_timed()
+        self._pending_kind = "delta"
+        self.ctx.schedule_delta_event(self)
+
+    def notify_after(self, delay: SimTime) -> None:
+        """Notify ``delay`` after the current simulation time.
+
+        A zero delay is equivalent to :meth:`notify_delta`.
+        """
+        if delay == ZERO_TIME:
+            self.notify_delta()
+            return
+        when = self.ctx.now + delay
+        if self._pending_kind == "delta":
+            return  # pending delta is earlier than any timed notification
+        if self._pending_kind == "timed":
+            if self._pending_handle.when <= when:
+                return  # pending notification is no later; keep it
+            self._cancel_timed()
+        self._pending_kind = "timed"
+        self._pending_handle = self.ctx.schedule_timed_event(self, when)
+
+    def cancel(self) -> None:
+        """Cancel any pending delta or timed notification."""
+        if self._pending_kind == "timed":
+            self._cancel_timed()
+        elif self._pending_kind == "delta":
+            # The context will see _pending_kind reset and skip the trigger.
+            self._pending_kind = None
+
+    def _cancel_timed(self) -> None:
+        self._pending_handle.cancelled = True
+        self._pending_handle = None
+        self._pending_kind = None
+
+    # -- kernel-side hooks -------------------------------------------------
+
+    def _fire_scheduled(self, kind: str) -> None:
+        """Called by the scheduler when a pending notification matures."""
+        if self._pending_kind != kind:
+            return  # was cancelled or superseded
+        self._pending_kind = None
+        self._pending_handle = None
+        self._trigger()
+
+    def _trigger(self) -> None:
+        """Wake every waiting process.  Runs inside the evaluation phase
+        (immediate notify) or the notification phase (delta/timed)."""
+        self._trigger_count += 1
+        self._last_trigger_delta = self.ctx.delta_count
+        if self._dynamic_waiters:
+            waiters = self._dynamic_waiters
+            self._dynamic_waiters = []
+            for process in waiters:
+                process._event_triggered(self)
+        for process in self._static_waiters:
+            process._static_triggered(self)
+
+    # -- wait-list management (used by Process) ---------------------------
+
+    def _add_dynamic(self, process: "Process") -> None:
+        self._dynamic_waiters.append(process)
+
+    def _remove_dynamic(self, process: "Process") -> None:
+        try:
+            self._dynamic_waiters.remove(process)
+        except ValueError:
+            pass
+
+    def add_static(self, process: "Process") -> None:
+        """Register a statically-sensitive process (elaboration time)."""
+        if process not in self._static_waiters:
+            self._static_waiters.append(process)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True if this event triggered in the current delta cycle."""
+        return self._last_trigger_delta == self.ctx.delta_count
+
+    @property
+    def trigger_count(self) -> int:
+        """Total number of times this event has triggered."""
+        return self._trigger_count
+
+    @property
+    def has_pending_notification(self) -> bool:
+        """True while a delta/timed notification is queued."""
+        return self._pending_kind is not None
+
+    def __repr__(self) -> str:
+        return f"Event({self.name!r})"
+
+
+class EventOrList:
+    """An or-combination of events: triggers when *any* member triggers."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, *events: Event):
+        if not events:
+            raise ValueError("EventOrList requires at least one event")
+        self.events = tuple(events)
+
+    def __or__(self, other: Event) -> "EventOrList":
+        return EventOrList(*self.events, other)
+
+
+class EventAndList:
+    """An and-combination of events: triggers once *all* members have
+    triggered (each at least once since the wait began)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, *events: Event):
+        if not events:
+            raise ValueError("EventAndList requires at least one event")
+        self.events = tuple(events)
+
+    def __and__(self, other: Event) -> "EventAndList":
+        return EventAndList(*self.events, other)
+
+
+def any_of(*events: Event) -> EventOrList:
+    """Wait condition satisfied when any of ``events`` triggers."""
+    return EventOrList(*events)
+
+
+def all_of(*events: Event) -> EventAndList:
+    """Wait condition satisfied when all of ``events`` have triggered."""
+    return EventAndList(*events)

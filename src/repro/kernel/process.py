@@ -1,0 +1,389 @@
+"""Simulation processes: thread processes and method processes.
+
+The kernel supports the two SystemC process flavours:
+
+* **Thread processes** (``SC_THREAD``) are Python *generator functions*.
+  A thread suspends by yielding a wait condition and is resumed by the
+  scheduler when the condition is satisfied.  Blocking interface methods
+  (e.g. ``ShipChannel.recv``) are themselves generators and are invoked
+  with ``yield from``.
+
+  Valid yield values:
+
+  ========================  =============================================
+  yielded value             meaning
+  ========================  =============================================
+  ``Event``                 wait for that event
+  ``EventOrList``           wait for any of the events
+  ``EventAndList``          wait for all of the events
+  ``SimTime``               wait for the given duration
+  ``(SimTime, events...)``  wait for events with a timeout
+  ``None``                  wait on the static sensitivity list
+  ========================  =============================================
+
+  The value sent back into the generator is the :class:`Event` that woke
+  the process, or ``None`` for a timeout or static-sensitivity wake-up.
+
+* **Method processes** (``SC_METHOD``) are plain callables invoked from
+  start to finish on every trigger of their sensitivity.  They must not
+  block; they may call :meth:`MethodProcess.next_trigger` to override
+  their sensitivity for the next activation only.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Generator, Iterable, Optional, Set, Tuple
+
+from repro.kernel.errors import ProcessError
+from repro.kernel.event import Event, EventAndList, EventOrList
+from repro.kernel.simtime import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.context import SimContext
+
+
+class ProcessState(enum.Enum):
+    READY = "ready"          # queued for execution
+    RUNNING = "running"      # currently executing
+    WAITING = "waiting"      # suspended on a dynamic or static wait
+    TERMINATED = "terminated"
+
+
+class WaitMode(enum.Enum):
+    ANY = "any"        # wake on any listed event (or timeout)
+    ALL = "all"        # wake once all listed events have triggered
+    TIMED = "timed"    # pure timeout
+    STATIC = "static"  # wake on the static sensitivity list
+
+
+class WaitCondition:
+    """Normalized description of what a suspended process is waiting for."""
+
+    __slots__ = ("mode", "events", "timeout")
+
+    def __init__(
+        self,
+        mode: WaitMode,
+        events: Tuple[Event, ...] = (),
+        timeout: Optional[SimTime] = None,
+    ):
+        self.mode = mode
+        self.events = events
+        self.timeout = timeout
+
+    @classmethod
+    def normalize(cls, yielded) -> "WaitCondition":
+        """Turn any legal yield value into a :class:`WaitCondition`."""
+        if yielded is None:
+            return cls(WaitMode.STATIC)
+        if isinstance(yielded, Event):
+            return cls(WaitMode.ANY, (yielded,))
+        if isinstance(yielded, EventOrList):
+            return cls(WaitMode.ANY, yielded.events)
+        if isinstance(yielded, EventAndList):
+            return cls(WaitMode.ALL, yielded.events)
+        if isinstance(yielded, SimTime):
+            return cls(WaitMode.TIMED, timeout=yielded)
+        if isinstance(yielded, WaitCondition):
+            return yielded
+        converter = getattr(yielded, "as_wait_condition", None)
+        if converter is not None:
+            # Duck-typed hook: annotation objects (e.g. the eSW
+            # ``ExecuteFor`` marker) define their plain-kernel meaning.
+            return cls.normalize(converter())
+        if isinstance(yielded, tuple) and yielded and isinstance(yielded[0], SimTime):
+            events: list = []
+            for item in yielded[1:]:
+                if isinstance(item, Event):
+                    events.append(item)
+                elif isinstance(item, EventOrList):
+                    events.extend(item.events)
+                else:
+                    raise ProcessError(
+                        f"invalid member in timed wait tuple: {item!r}"
+                    )
+            if not events:
+                return cls(WaitMode.TIMED, timeout=yielded[0])
+            return cls(WaitMode.ANY, tuple(events), timeout=yielded[0])
+        raise ProcessError(
+            f"process yielded an invalid wait condition: {yielded!r}"
+        )
+
+
+def wait(*args) -> WaitCondition:
+    """Build a wait condition explicitly: ``yield wait(ev)``,
+    ``yield wait(ns(5))``, ``yield wait(ns(5), done_event)``,
+    ``yield wait()`` (static sensitivity)."""
+    if not args:
+        return WaitCondition(WaitMode.STATIC)
+    if len(args) == 1:
+        return WaitCondition.normalize(args[0])
+    if isinstance(args[0], SimTime):
+        return WaitCondition.normalize(tuple(args))
+    events: list = []
+    for item in args:
+        if isinstance(item, Event):
+            events.append(item)
+        elif isinstance(item, EventOrList):
+            events.extend(item.events)
+        else:
+            raise ProcessError(f"invalid wait argument: {item!r}")
+    return WaitCondition(WaitMode.ANY, tuple(events))
+
+
+class Process:
+    """Base class for both process flavours."""
+
+    kind = "process"
+
+    def __init__(self, ctx: "SimContext", name: str):
+        self.ctx = ctx
+        self.name = name
+        self.state = ProcessState.READY
+        #: Events this process is statically sensitive to.
+        self.static_sensitivity: list = []
+        #: Notified (delta) when the process terminates.
+        self.terminated_event = Event(ctx, f"{name}.terminated")
+        self._wake_value: Optional[Event] = None
+        self._timeout_handle = None
+        self._waiting_static = False
+        self._pending_all: Set[Event] = set()
+        self._wait_events: Tuple[Event, ...] = ()
+        self.exception: Optional[BaseException] = None
+
+    # -- sensitivity -------------------------------------------------------
+
+    def add_static_sensitivity(self, event: Event) -> None:
+        """Add an event to the static sensitivity list."""
+        if event not in self.static_sensitivity:
+            self.static_sensitivity.append(event)
+            event.add_static(self)
+
+    # -- wake-up plumbing ---------------------------------------------------
+
+    def _clear_dynamic_wait(self) -> None:
+        for ev in self._wait_events:
+            ev._remove_dynamic(self)
+        self._wait_events = ()
+        self._pending_all.clear()
+        self._waiting_static = False
+        if self._timeout_handle is not None:
+            self._timeout_handle.cancelled = True
+            self._timeout_handle = None
+
+    def _wake(self, wake_value: Optional[Event]) -> None:
+        if self.state is not ProcessState.WAITING:
+            return
+        self._clear_dynamic_wait()
+        self._wake_value = wake_value
+        self.state = ProcessState.READY
+        self.ctx.make_runnable(self)
+
+    def _event_triggered(self, event: Event) -> None:
+        """Called by an event this process dynamically waits on."""
+        if self._pending_all:
+            self._pending_all.discard(event)
+            if self._pending_all:
+                return  # still waiting for the rest of the and-list
+        self._wake(event)
+
+    def _static_triggered(self, event: Event) -> None:
+        """Called by an event on the static sensitivity list."""
+        if self._waiting_static:
+            self._wake(event)
+
+    def _timeout_fired(self) -> None:
+        self._wake(None)
+
+    # -- scheduler interface -------------------------------------------------
+
+    def _dispatch(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _apply_wait(self, cond: WaitCondition) -> None:
+        """Suspend this process on ``cond``."""
+        self.state = ProcessState.WAITING
+        if cond.mode is WaitMode.STATIC:
+            if not self.static_sensitivity:
+                # A static wait with no sensitivity suspends forever; this
+                # is legal in SystemC but almost always a bug in a model.
+                self.ctx.reporter.warning(
+                    "process",
+                    f"process {self.name!r} waits on an empty static "
+                    f"sensitivity list and will never resume",
+                    time_str=str(self.ctx.now),
+                )
+            self._waiting_static = True
+            return
+        if cond.mode is WaitMode.TIMED:
+            self._timeout_handle = self.ctx.schedule_timed_resume(
+                self, self.ctx.now + cond.timeout
+            )
+            return
+        # ANY / ALL over events, possibly with a timeout.
+        self._wait_events = cond.events
+        for ev in cond.events:
+            ev._add_dynamic(self)
+        if cond.mode is WaitMode.ALL:
+            self._pending_all = set(cond.events)
+        if cond.timeout is not None:
+            self._timeout_handle = self.ctx.schedule_timed_resume(
+                self, self.ctx.now + cond.timeout
+            )
+
+    def _terminate(self) -> None:
+        self._clear_dynamic_wait()
+        self.state = ProcessState.TERMINATED
+        self.terminated_event.notify_delta()
+
+    @property
+    def terminated(self) -> bool:
+        """True once the process ran to completion."""
+        return self.state is ProcessState.TERMINATED
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, {self.state.value})"
+
+
+class ThreadProcess(Process):
+    """A coroutine process driven by a generator function."""
+
+    kind = "thread"
+
+    def __init__(
+        self,
+        ctx: "SimContext",
+        name: str,
+        fn: Callable[[], Generator],
+        dont_initialize: bool = False,
+    ):
+        super().__init__(ctx, name)
+        self._fn = fn
+        self._gen: Optional[Generator] = None
+        self.dont_initialize = dont_initialize
+
+    def _start(self) -> None:
+        """Create the underlying generator (first dispatch)."""
+        result = self._fn()
+        if result is None:
+            # A plain function (no yields): it already ran to completion.
+            self._terminate()
+            return
+        if not hasattr(result, "send"):
+            raise ProcessError(
+                f"thread process {self.name!r} must be a generator "
+                f"function, got {type(result).__name__}"
+            )
+        self._gen = result
+        self._advance(first=True)
+
+    def _dispatch(self) -> None:
+        self.state = ProcessState.RUNNING
+        if self._gen is None:
+            self._start()
+        else:
+            self._advance()
+
+    def _advance(self, first: bool = False) -> None:
+        self.state = ProcessState.RUNNING
+        wake = self._wake_value
+        self._wake_value = None
+        try:
+            if first:
+                yielded = next(self._gen)
+            else:
+                yielded = self._gen.send(wake)
+        except StopIteration:
+            self._terminate()
+            return
+        except BaseException as exc:
+            self.exception = exc
+            self._terminate()
+            self.ctx._process_failed(self, exc)
+            return
+        self._apply_wait(WaitCondition.normalize(yielded))
+
+
+class MethodProcess(Process):
+    """A run-to-completion callback process."""
+
+    kind = "method"
+
+    def __init__(
+        self,
+        ctx: "SimContext",
+        name: str,
+        fn: Callable[[], None],
+        dont_initialize: bool = False,
+    ):
+        super().__init__(ctx, name)
+        self._fn = fn
+        self.dont_initialize = dont_initialize
+        self._next_trigger_override: Optional[WaitCondition] = None
+
+    def next_trigger(self, *args) -> None:
+        """Override the sensitivity for the next activation only.
+
+        With no arguments, restores the static sensitivity.
+        """
+        if not args:
+            self._next_trigger_override = WaitCondition(WaitMode.STATIC)
+        else:
+            self._next_trigger_override = wait(*args)
+
+    def _dispatch(self) -> None:
+        self.state = ProcessState.RUNNING
+        self._wake_value = None
+        self._next_trigger_override = None
+        try:
+            result = self._fn()
+        except BaseException as exc:
+            self.exception = exc
+            self._terminate()
+            self.ctx._process_failed(self, exc)
+            return
+        if result is not None and hasattr(result, "send"):
+            raise ProcessError(
+                f"method process {self.name!r} is a generator function; "
+                f"register it as a thread process instead"
+            )
+        cond = self._next_trigger_override or WaitCondition(WaitMode.STATIC)
+        self._apply_wait(cond)
+
+
+class LazySensitivity:
+    """A sensitivity source resolved at elaboration time.
+
+    Wraps a zero-argument callable returning an iterable of sensitivity
+    sources (events, signals, bound ports).  Used by the module process
+    decorators, whose string attribute names cannot be resolved until the
+    module instance is fully constructed and its ports are bound.
+    """
+
+    __slots__ = ("resolver",)
+
+    def __init__(self, resolver: Callable[[], Iterable]):
+        self.resolver = resolver
+
+
+def sensitivity_events(sources: Iterable) -> list:
+    """Expand a sensitivity specification into a list of events.
+
+    Each source may be an :class:`Event`, a :class:`LazySensitivity`, or
+    any object exposing a ``default_event()`` method (signals, ports bound
+    to signals, ...).
+    """
+    events = []
+    for src in sources:
+        if isinstance(src, Event):
+            events.append(src)
+        elif isinstance(src, LazySensitivity):
+            events.extend(sensitivity_events(src.resolver()))
+        elif hasattr(src, "default_event"):
+            events.append(src.default_event())
+        else:
+            raise ProcessError(
+                f"cannot be used in a sensitivity list: {src!r}"
+            )
+    return events

@@ -1,0 +1,121 @@
+"""Severity-classified message reporting, modeled on ``sc_report``.
+
+Models and kernel internals report through a :class:`Reporter` rather than
+printing directly.  That keeps simulation output machine-checkable in
+tests (a test can assert that a warning was or was not issued) and lets a
+user silence or escalate message categories, exactly as SystemC's
+``sc_report_handler`` does.
+"""
+
+from __future__ import annotations
+
+import enum
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, TextIO
+
+
+class Severity(enum.IntEnum):
+    """Message severity, ordered so comparisons are meaningful."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+    FATAL = 3
+
+
+@dataclass(frozen=True)
+class Report:
+    """A single reported message."""
+
+    severity: Severity
+    message_type: str
+    message: str
+    time_str: str
+    object_name: Optional[str] = None
+
+    def format(self) -> str:
+        """One-line rendering with severity, type, time, origin."""
+        where = f" [{self.object_name}]" if self.object_name else ""
+        return (
+            f"{self.severity.name} ({self.message_type}) "
+            f"@ {self.time_str}{where}: {self.message}"
+        )
+
+
+class ReportedError(Exception):
+    """Raised when a report at or above the abort threshold is issued."""
+
+    def __init__(self, report: Report):
+        super().__init__(report.format())
+        self.report = report
+
+
+@dataclass
+class Reporter:
+    """Collects reports, optionally echoing them to a stream.
+
+    Parameters
+    ----------
+    echo_stream:
+        Stream to echo formatted reports to; ``None`` silences echo.
+        Defaults to ``sys.stderr`` for warnings and above only.
+    abort_severity:
+        Reports at or above this severity raise :class:`ReportedError`.
+    """
+
+    echo_stream: Optional[TextIO] = None
+    echo_threshold: Severity = Severity.WARNING
+    abort_severity: Severity = Severity.FATAL
+    reports: List[Report] = field(default_factory=list)
+    handlers: List[Callable[[Report], None]] = field(default_factory=list)
+
+    def report(
+        self,
+        severity: Severity,
+        message_type: str,
+        message: str,
+        time_str: str = "?",
+        object_name: Optional[str] = None,
+    ) -> Report:
+        """Issue a report; returns the stored :class:`Report`."""
+        rpt = Report(severity, message_type, message, time_str, object_name)
+        self.reports.append(rpt)
+        for handler in self.handlers:
+            handler(rpt)
+        stream = self.echo_stream
+        if stream is None and severity >= self.echo_threshold:
+            stream = sys.stderr
+        if stream is not None and severity >= self.echo_threshold:
+            print(rpt.format(), file=stream)
+        if severity >= self.abort_severity:
+            raise ReportedError(rpt)
+        return rpt
+
+    # Convenience wrappers -------------------------------------------------
+
+    def info(self, message_type: str, message: str, **kw) -> Report:
+        """Issue an INFO report."""
+        return self.report(Severity.INFO, message_type, message, **kw)
+
+    def warning(self, message_type: str, message: str, **kw) -> Report:
+        """Issue a WARNING report."""
+        return self.report(Severity.WARNING, message_type, message, **kw)
+
+    def error(self, message_type: str, message: str, **kw) -> Report:
+        """Issue an ERROR report."""
+        return self.report(Severity.ERROR, message_type, message, **kw)
+
+    def fatal(self, message_type: str, message: str, **kw) -> Report:
+        """Issue a FATAL report (raises by default)."""
+        return self.report(Severity.FATAL, message_type, message, **kw)
+
+    # Query helpers --------------------------------------------------------
+
+    def count(self, severity: Severity) -> int:
+        """Number of reports issued at exactly ``severity``."""
+        return sum(1 for r in self.reports if r.severity == severity)
+
+    def messages_of_type(self, message_type: str) -> List[Report]:
+        """All reports with the given message type."""
+        return [r for r in self.reports if r.message_type == message_type]

@@ -1,0 +1,210 @@
+"""Signals with SystemC evaluate/update semantics.
+
+A :class:`Signal` is the primitive channel used for RTL-style (pin-level)
+modeling: writes store a *next value* and take effect in the update phase,
+so every process in a delta cycle observes the same stable current value.
+This is what makes pin-accurate models (the OCP pin interface, the RTL
+accessors) race-free.
+
+:class:`SignalIn` / :class:`SignalOut` are the matching typed ports.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+from repro.kernel.errors import SimulationError
+from repro.kernel.event import Event
+from repro.kernel.object import SimObject
+from repro.kernel.port import Port
+
+T = TypeVar("T")
+
+
+class Signal(SimObject, Generic[T]):
+    """A single-driver signal with delta-cycle update semantics.
+
+    Parameters
+    ----------
+    init:
+        Initial (and reset) value.
+    check_writer:
+        When True (default), writes from more than one process raise
+        :class:`SimulationError`, catching classic multiple-driver bugs.
+    """
+
+    def __init__(self, name, parent=None, ctx=None, init: T = None,
+                 check_writer: bool = True):
+        super().__init__(name, parent, ctx)
+        self._current: T = init
+        self._next: T = init
+        self._update_pending = False
+        self._check_writer = check_writer
+        self._writer = None
+        self._value_changed = Event(self, f"{self.full_name}.value_changed")
+        self._posedge = Event(self, f"{self.full_name}.posedge")
+        self._negedge = Event(self, f"{self.full_name}.negedge")
+        self._last_change_delta = -1
+        #: observers called as fn(signal, old, new) on every value change;
+        #: used by the VCD tracer without burdening the hot path when empty
+        self._observers = []
+
+    # -- access ---------------------------------------------------------------
+
+    def read(self) -> T:
+        """Current value (stable within a delta cycle)."""
+        return self._current
+
+    @property
+    def value(self) -> T:
+        """Current value (property form of ``read``)."""
+        return self._current
+
+    def write(self, value: T) -> None:
+        """Schedule ``value`` to become current in the update phase."""
+        if self._check_writer:
+            writer = self.ctx.current_process
+            if writer is not None:
+                if self._writer is None:
+                    self._writer = writer
+                elif self._writer is not writer:
+                    raise SimulationError(
+                        f"signal {self.full_name} driven by both "
+                        f"{self._writer.name!r} and {writer.name!r}"
+                    )
+        self._next = value
+        if not self._update_pending:
+            self._update_pending = True
+            self.ctx.request_update(self)
+
+    def force(self, value: T) -> None:
+        """Set the current value immediately, bypassing the update phase.
+
+        Intended for initialization and test benches only.
+        """
+        self._current = value
+        self._next = value
+
+    def _perform_update(self) -> None:
+        self._update_pending = False
+        if self._next == self._current:
+            return
+        old, new = self._current, self._next
+        self._current = new
+        # Processes woken by this change run in the *next* delta cycle;
+        # stamp that delta so ``event``/``posedge()`` read true for them
+        # (matching sc_signal::event()).
+        self._last_change_delta = self.ctx.delta_count + 1
+        self._value_changed.notify_delta()
+        # Edge events are meaningful for bool-like signals; defining them
+        # through truthiness keeps int signals usable as wires too.
+        if not old and new:
+            self._posedge.notify_delta()
+        elif old and not new:
+            self._negedge.notify_delta()
+        for observer in self._observers:
+            observer(self, old, new)
+
+    def on_change(self, observer) -> None:
+        """Register ``observer(signal, old, new)`` for value changes."""
+        self._observers.append(observer)
+
+    # -- events -----------------------------------------------------------------
+
+    def default_event(self) -> Event:
+        """Sensitivity hook: value-changed."""
+        return self._value_changed
+
+    @property
+    def value_changed_event(self) -> Event:
+        """Fires one delta after any value change."""
+        return self._value_changed
+
+    @property
+    def posedge_event(self) -> Event:
+        """Fires on a falsy-to-truthy transition."""
+        return self._posedge
+
+    @property
+    def negedge_event(self) -> Event:
+        """Fires on a truthy-to-falsy transition."""
+        return self._negedge
+
+    @property
+    def event(self) -> bool:
+        """True if the value changed in the current delta cycle."""
+        return self._last_change_delta == self.ctx.delta_count
+
+    def posedge(self) -> bool:
+        """True if this delta's change was a rising edge."""
+        return self.event and bool(self._current)
+
+    def negedge(self) -> bool:
+        """True if this delta's change was a falling edge."""
+        return self.event and not self._current
+
+    def __repr__(self) -> str:
+        return f"Signal({self.full_name!r}, value={self._current!r})"
+
+
+class SignalIn(Port):
+    """Input port for signals: read-only access plus edge sensitivity."""
+
+    def __init__(self, name, parent=None, ctx=None, required: bool = True):
+        super().__init__(name, parent, ctx, iface_type=Signal,
+                         required=required)
+
+    def read(self):
+        """Current value of the bound signal."""
+        return self.channel.read()
+
+    @property
+    def value(self):
+        """Current value of the bound signal."""
+        return self.channel.read()
+
+    def posedge(self) -> bool:
+        """Rising-edge query on the bound signal."""
+        return self.channel.posedge()
+
+    def negedge(self) -> bool:
+        """Falling-edge query on the bound signal."""
+        return self.channel.negedge()
+
+    @property
+    def posedge_event(self) -> Event:
+        """The bound signal's rising-edge event."""
+        return self.channel.posedge_event
+
+    @property
+    def negedge_event(self) -> Event:
+        """The bound signal's falling-edge event."""
+        return self.channel.negedge_event
+
+
+class SignalOut(Port):
+    """Output port for signals: write access."""
+
+    def __init__(self, name, parent=None, ctx=None, required: bool = True):
+        super().__init__(name, parent, ctx, iface_type=Signal,
+                         required=required)
+
+    def write(self, value) -> None:
+        """Schedule a new value on the bound signal."""
+        self.channel.write(value)
+
+    def read(self):
+        """Outputs are readable too (``sc_inout`` behaviour)."""
+        return self.channel.read()
+
+    @property
+    def value(self):
+        """Current value (outputs are readable)."""
+        return self.channel.read()
+
+
+def signal_bus(name: str, parent, count: int, init=None) -> list:
+    """Create a list of ``count`` signals named ``name[i]``."""
+    return [
+        Signal(f"{name}[{i}]", parent, init=init) for i in range(count)
+    ]

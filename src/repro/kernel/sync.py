@@ -1,0 +1,88 @@
+"""Synchronization primitives: mutex and semaphore (``sc_mutex`` /
+``sc_semaphore`` equivalents).
+
+Blocking operations are generator methods invoked with ``yield from``
+inside thread processes.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.kernel.errors import SimulationError
+from repro.kernel.event import Event
+from repro.kernel.object import SimObject
+
+
+class Mutex(SimObject):
+    """A non-recursive mutex owned by the locking process."""
+
+    def __init__(self, name, parent=None, ctx=None):
+        super().__init__(name, parent, ctx)
+        self._owner = None
+        self._released = Event(self, f"{self.full_name}.released")
+
+    def lock(self) -> Generator:
+        """Blocking lock (``yield from mutex.lock()``)."""
+        while not self.try_lock():
+            yield self._released
+
+    def try_lock(self) -> bool:
+        """Non-blocking lock attempt."""
+        if self._owner is not None:
+            return False
+        self._owner = self.ctx.current_process
+        return True
+
+    def unlock(self) -> None:
+        """Release; only the owning process may unlock."""
+        current = self.ctx.current_process
+        if self._owner is None:
+            raise SimulationError(f"mutex {self.full_name}: not locked")
+        if current is not None and current is not self._owner:
+            raise SimulationError(
+                f"mutex {self.full_name}: unlock by non-owner "
+                f"{current.name!r}"
+            )
+        self._owner = None
+        self._released.notify()
+
+    @property
+    def locked(self) -> bool:
+        """True while some process owns the mutex."""
+        return self._owner is not None
+
+
+class Semaphore(SimObject):
+    """A counting semaphore."""
+
+    def __init__(self, name, parent=None, ctx=None, initial: int = 1):
+        super().__init__(name, parent, ctx)
+        if initial < 0:
+            raise SimulationError(
+                f"semaphore {name!r}: initial count must be >= 0"
+            )
+        self._count = initial
+        self._posted = Event(self, f"{self.full_name}.posted")
+
+    def wait(self) -> Generator:
+        """Blocking decrement (``yield from sem.wait()``)."""
+        while not self.try_wait():
+            yield self._posted
+
+    def try_wait(self) -> bool:
+        """Non-blocking decrement attempt."""
+        if self._count <= 0:
+            return False
+        self._count -= 1
+        return True
+
+    def post(self) -> None:
+        """Increment and wake one class of waiters."""
+        self._count += 1
+        self._posted.notify()
+
+    @property
+    def count(self) -> int:
+        """Current semaphore value."""
+        return self._count

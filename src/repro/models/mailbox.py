@@ -1,0 +1,237 @@
+"""Memory-mapped message mailbox: the shared substrate for SHIP-over-bus.
+
+Both the CCATB SHIP wrappers (:mod:`repro.models.wrappers`) and the
+HW/SW interface (:mod:`repro.hwsw`) move SHIP byte streams through the
+same register block — which is the point: the paper's generic HW/SW
+interface *"virtually realizes a SHIP channel"* over shared memory plus
+sideband signals, and the wrapper uses the identical mechanism over a
+bus region.
+
+Register map (word size 4 bytes, ``capacity_words`` data words each way)::
+
+    0x00              CTRL_IN   control for messages INTO the mailbox owner
+    0x04              LEN_IN    chunk length in bytes
+    0x08 ...          DATA_IN   capacity_words words
+    base_out + 0x00   CTRL_OUT  control for messages OUT of the owner
+    base_out + 0x04   LEN_OUT
+    base_out + 0x08.. DATA_OUT
+
+CTRL bits: bit0 VALID (chunk present), bit1 MORE (message continues in a
+later chunk), bit2 REQUEST (final chunk of a SHIP ``request``; a reply
+will follow on the opposite direction).
+
+The producer polls VALID==0, writes LEN+DATA, then sets CTRL (doorbell).
+The consumer copies the chunk and clears CTRL.  Messages larger than the
+data window are split into chunks; reassembly order is the bus's
+write-ordering, which both our CAMs and real CoreConnect preserve
+per-master.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.kernel.errors import SimulationError
+from repro.kernel.event import Event
+from repro.kernel.object import SimObject
+from repro.kernel.signal import Signal
+from repro.ocp.types import OcpRequest, OcpResponse
+
+#: CTRL register bits
+CTRL_VALID = 0x1
+CTRL_MORE = 0x2
+CTRL_REQUEST = 0x4
+
+WORD_BYTES = 4
+
+
+class MailboxLayout:
+    """Address arithmetic for the mailbox register block."""
+
+    def __init__(self, capacity_words: int = 256):
+        if capacity_words < 1:
+            raise ValueError("mailbox needs at least one data word")
+        self.capacity_words = capacity_words
+        self.ctrl_in = 0x0
+        self.len_in = WORD_BYTES
+        self.data_in = 2 * WORD_BYTES
+        base_out = (2 + capacity_words) * WORD_BYTES
+        self.ctrl_out = base_out
+        self.len_out = base_out + WORD_BYTES
+        self.data_out = base_out + 2 * WORD_BYTES
+        self.total_bytes = (4 + 2 * capacity_words) * WORD_BYTES
+
+    @property
+    def chunk_capacity_bytes(self) -> int:
+        """Bytes one chunk's data window holds."""
+        return self.capacity_words * WORD_BYTES
+
+
+def bytes_to_words(data: bytes) -> List[int]:
+    """Pack bytes into big-endian 32-bit words (zero padded)."""
+    words = []
+    for i in range(0, len(data), WORD_BYTES):
+        chunk = data[i:i + WORD_BYTES].ljust(WORD_BYTES, b"\x00")
+        words.append(int.from_bytes(chunk, "big"))
+    return words
+
+
+def words_to_bytes(words: List[int], nbytes: int) -> bytes:
+    """Inverse of :func:`bytes_to_words`, truncated to ``nbytes``."""
+    raw = b"".join(w.to_bytes(WORD_BYTES, "big") for w in words)
+    return raw[:nbytes]
+
+
+def chunk_message(data: bytes, layout: MailboxLayout,
+                  is_request: bool) -> List[Tuple[bytes, int]]:
+    """Split a framed message into ``(chunk_bytes, ctrl_value)`` pairs."""
+    capacity = layout.chunk_capacity_bytes
+    chunks = [data[i:i + capacity] for i in range(0, len(data), capacity)]
+    if not chunks:
+        chunks = [b""]
+    result = []
+    for i, chunk in enumerate(chunks):
+        last = i == len(chunks) - 1
+        ctrl = CTRL_VALID
+        if not last:
+            ctrl |= CTRL_MORE
+        elif is_request:
+            ctrl |= CTRL_REQUEST
+        result.append((chunk, ctrl))
+    return result
+
+
+class MailboxSlave(SimObject):
+    """The bus-facing mailbox: a functional OCP slave plus owner-side API.
+
+    The *bus side* (a remote SHIP wrapper or a device driver) accesses
+    the registers with reads/writes through the bus.  The *owner side*
+    (the slave-side SHIP wrapper process, or the HW adapter) uses the
+    direct methods and the doorbell events.
+
+    An optional ``irq`` signal implements the paper's sideband signals:
+    it rises while CTRL_OUT holds a valid chunk, so a bus master can wait
+    for the interrupt instead of polling.
+    """
+
+    def __init__(self, name, parent=None, ctx=None,
+                 capacity_words: int = 256, with_irq: bool = True,
+                 read_wait: int = 0, write_wait: int = 0):
+        super().__init__(name, parent, ctx)
+        self.layout = MailboxLayout(capacity_words)
+        self.read_wait = read_wait
+        self.write_wait = write_wait
+        self._regs: List[int] = [0] * (self.layout.total_bytes // WORD_BYTES)
+        self.doorbell_in = Event(self, f"{self.full_name}.doorbell_in")
+        self.in_consumed = Event(self, f"{self.full_name}.in_consumed")
+        self.out_consumed = Event(self, f"{self.full_name}.out_consumed")
+        self.irq: Optional[Signal] = (
+            Signal("irq", self, init=False, check_writer=False)
+            if with_irq else None
+        )
+        self.bus_reads = 0
+        self.bus_writes = 0
+
+    # -- register helpers ------------------------------------------------------
+
+    def _reg_index(self, offset: int) -> int:
+        if offset % WORD_BYTES:
+            raise SimulationError(
+                f"mailbox {self.full_name}: unaligned access at "
+                f"{offset:#x}"
+            )
+        index = offset // WORD_BYTES
+        if not 0 <= index < len(self._regs):
+            raise SimulationError(
+                f"mailbox {self.full_name}: offset {offset:#x} out of "
+                f"range"
+            )
+        return index
+
+    def _read_reg(self, offset: int) -> int:
+        return self._regs[self._reg_index(offset)]
+
+    def _write_reg(self, offset: int, value: int) -> None:
+        self._regs[self._reg_index(offset)] = value & 0xFFFFFFFF
+        if offset == self.layout.ctrl_in:
+            if value & CTRL_VALID:
+                self.doorbell_in.notify()
+            else:
+                self.in_consumed.notify()
+        elif offset == self.layout.ctrl_out:
+            if not value & CTRL_VALID:
+                self.out_consumed.notify()
+            if self.irq is not None:
+                self.irq.write(bool(value & CTRL_VALID))
+
+    # -- bus-facing functional slave interface --------------------------------------
+
+    def wait_states(self, request: OcpRequest) -> int:
+        """Bus wait states for this access direction."""
+        return self.read_wait if request.cmd.is_read else self.write_wait
+
+    def access(self, request: OcpRequest) -> OcpResponse:
+        """Functional bus access to the register block."""
+        last_offset = request.beat_address(request.burst_length - 1)
+        if last_offset + WORD_BYTES > self.layout.total_bytes:
+            return OcpResponse.error()
+        if request.cmd.is_write:
+            for beat in range(request.burst_length):
+                self._write_reg(request.beat_address(beat),
+                                request.data[beat])
+            self.bus_writes += 1
+            return OcpResponse.write_ok()
+        data = [
+            self._read_reg(request.beat_address(beat))
+            for beat in range(request.burst_length)
+        ]
+        self.bus_reads += 1
+        return OcpResponse.read_ok(data)
+
+    # -- owner-side API ------------------------------------------------------------------
+
+    @property
+    def in_ctrl(self) -> int:
+        """Current CTRL_IN value."""
+        return self._read_reg(self.layout.ctrl_in)
+
+    @property
+    def out_ctrl(self) -> int:
+        """Current CTRL_OUT value."""
+        return self._read_reg(self.layout.ctrl_out)
+
+    def take_in_chunk(self) -> Tuple[bytes, int]:
+        """Owner consumes the inbound chunk; returns ``(bytes, ctrl)``.
+
+        Clears CTRL_IN so the producer may write the next chunk.
+        """
+        ctrl = self.in_ctrl
+        if not ctrl & CTRL_VALID:
+            raise SimulationError(
+                f"mailbox {self.full_name}: take_in_chunk with no valid "
+                f"chunk"
+            )
+        nbytes = self._read_reg(self.layout.len_in)
+        word_count = (nbytes + WORD_BYTES - 1) // WORD_BYTES
+        start = self.layout.data_in // WORD_BYTES
+        words = self._regs[start:start + word_count]
+        self._write_reg(self.layout.ctrl_in, 0)
+        return words_to_bytes(words, nbytes), ctrl
+
+    def put_out_chunk(self, data: bytes, ctrl: int) -> None:
+        """Owner publishes an outbound chunk (CTRL_OUT must be clear)."""
+        if self.out_ctrl & CTRL_VALID:
+            raise SimulationError(
+                f"mailbox {self.full_name}: put_out_chunk while previous "
+                f"chunk unconsumed"
+            )
+        if len(data) > self.layout.chunk_capacity_bytes:
+            raise SimulationError(
+                f"mailbox {self.full_name}: chunk of {len(data)} bytes "
+                f"exceeds capacity {self.layout.chunk_capacity_bytes}"
+            )
+        words = bytes_to_words(data)
+        start = self.layout.data_out // WORD_BYTES
+        self._regs[start:start + len(words)] = words
+        self._write_reg(self.layout.len_out, len(data))
+        self._write_reg(self.layout.ctrl_out, ctrl)

@@ -1,0 +1,359 @@
+"""Wrappers mapping SHIP channels onto communication architectures.
+
+The paper's §3: *"By the use of wrappers, virtually any PE can be
+connected to the CAM, independent of its communication interface."*
+This module provides the SHIP side of that promise — a PE keeps talking
+SHIP while its channel is transparently carried over a bus CAM:
+
+* :class:`ShipBusMasterWrapper` sits at the SHIP master PE: it receives
+  the PE's messages on a local SHIP channel and converts them into bus
+  transactions against the slave's memory-mapped mailbox (writes for
+  message chunks, reads or a sideband IRQ for replies).
+* :class:`ShipBusSlaveWrapper` sits at the SHIP slave PE: it owns a
+  :class:`~repro.models.mailbox.MailboxSlave` on the bus, reassembles
+  chunks into SHIP messages and delivers them over a local SHIP channel.
+
+Pin-level PEs connect with :class:`~repro.ocp.pin.OcpPinSlave` pointed at
+a bus socket (see :func:`connect_pin_master_to_bus`), and TL PEs bind an
+:class:`~repro.ocp.tl.OcpMasterPort` directly to a bus socket — together
+these three cover the wrapper matrix of experiment E8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
+
+from repro.kernel.clock import Clock
+from repro.kernel.errors import SimulationError
+from repro.kernel.module import Module
+from repro.kernel.signal import Signal
+from repro.kernel.simtime import SimTime, ZERO_TIME
+from repro.ocp.pin import OcpPinBundle, OcpPinSlave
+from repro.ocp.tl import OcpTargetIf
+from repro.ocp.types import OcpCmd, OcpRequest
+from repro.models.mailbox import (
+    CTRL_MORE,
+    CTRL_REQUEST,
+    CTRL_VALID,
+    WORD_BYTES,
+    MailboxLayout,
+    MailboxSlave,
+    bytes_to_words,
+    chunk_message,
+    words_to_bytes,
+)
+from repro.ship.channel import ShipChannel, ShipEnd
+from repro.ship.serializable import decode_message, encode_message
+
+
+class ShipBusMasterWrapper(Module):
+    """Carries a SHIP master PE's traffic over a bus to a remote mailbox.
+
+    Parameters
+    ----------
+    channel:
+        The local SHIP channel shared with the master PE; the wrapper
+        claims the free end and behaves as the local slave.
+    socket:
+        Bus attachment point (any blocking-transport target).
+    mailbox_base:
+        Bus address of the remote :class:`MailboxSlave` block.
+    layout:
+        Mailbox register layout (must match the remote mailbox).
+    poll_interval:
+        Delay between CTRL polls; defaults to 10 bus-word times worth of
+        ``ZERO_TIME``-safe polling (pass explicitly for realistic rates).
+    irq:
+        Optional sideband interrupt signal from the remote mailbox;
+        when given, replies wait on the IRQ instead of polling.
+    max_burst:
+        Longest bus burst the wrapper will issue (PLB allows 16).
+    """
+
+    def __init__(
+        self,
+        name,
+        parent=None,
+        ctx=None,
+        channel: ShipChannel = None,
+        socket: OcpTargetIf = None,
+        mailbox_base: int = 0,
+        layout: Optional[MailboxLayout] = None,
+        poll_interval: Optional[SimTime] = None,
+        irq: Optional[Signal] = None,
+        max_burst: int = 16,
+    ):
+        super().__init__(name, parent, ctx)
+        if channel is None or socket is None:
+            raise SimulationError(
+                f"wrapper {name!r} needs a SHIP channel and a bus socket"
+            )
+        self.channel = channel
+        self.end: ShipEnd = channel.claim_end(self)
+        self.socket = socket
+        self.base = mailbox_base
+        self.layout = layout or MailboxLayout()
+        self.poll_interval = poll_interval
+        self.irq = irq
+        self.max_burst = max_burst
+        self.messages_forwarded = 0
+        self.replies_returned = 0
+        self.poll_reads = 0
+        self.add_thread(self._forward, "forward")
+
+    # -- bus access helpers ---------------------------------------------------------
+
+    def _write_words(self, addr: int, words: List[int]) -> Generator:
+        offset = 0
+        while offset < len(words):
+            beats = words[offset:offset + self.max_burst]
+            request = OcpRequest(
+                OcpCmd.WR,
+                addr + offset * WORD_BYTES,
+                data=beats,
+                burst_length=len(beats),
+            )
+            response = yield from self.socket.transport(request)
+            if not response.ok:
+                raise SimulationError(
+                    f"wrapper {self.full_name}: bus write failed at "
+                    f"{request.addr:#x}"
+                )
+            offset += len(beats)
+
+    def _read_words(self, addr: int, count: int) -> Generator:
+        words: List[int] = []
+        offset = 0
+        while offset < count:
+            beats = min(self.max_burst, count - offset)
+            request = OcpRequest(
+                OcpCmd.RD,
+                addr + offset * WORD_BYTES,
+                burst_length=beats,
+            )
+            response = yield from self.socket.transport(request)
+            if not response.ok:
+                raise SimulationError(
+                    f"wrapper {self.full_name}: bus read failed at "
+                    f"{request.addr:#x}"
+                )
+            words.extend(response.data)
+            offset += beats
+        return words
+
+    def _read_word(self, addr: int) -> Generator:
+        words = yield from self._read_words(addr, 1)
+        return words[0]
+
+    def _pause(self) -> Generator:
+        if self.poll_interval is not None and self.poll_interval > ZERO_TIME:
+            yield self.poll_interval
+
+    # -- protocol ----------------------------------------------------------------------
+
+    def _wait_in_clear(self) -> Generator:
+        while True:
+            ctrl = yield from self._read_word(self.base + self.layout.ctrl_in)
+            self.poll_reads += 1
+            if not ctrl & CTRL_VALID:
+                return
+            yield from self._pause()
+
+    def _send_chunks(self, payload: bytes, is_request: bool) -> Generator:
+        for chunk, ctrl in chunk_message(payload, self.layout, is_request):
+            yield from self._wait_in_clear()
+            words = [len(chunk)] + bytes_to_words(chunk)
+            yield from self._write_words(
+                self.base + self.layout.len_in, words
+            )
+            yield from self._write_words(
+                self.base + self.layout.ctrl_in, [ctrl]
+            )
+
+    def _wait_out_valid(self) -> Generator:
+        if self.irq is not None:
+            while not self.irq.read():
+                yield self.irq.posedge_event
+            return
+        while True:
+            ctrl = yield from self._read_word(
+                self.base + self.layout.ctrl_out
+            )
+            self.poll_reads += 1
+            if ctrl & CTRL_VALID:
+                return
+            yield from self._pause()
+
+    def _read_reply(self) -> Generator:
+        payload = b""
+        while True:
+            yield from self._wait_out_valid()
+            header = yield from self._read_words(
+                self.base + self.layout.ctrl_out, 2
+            )
+            ctrl, nbytes = header
+            word_count = (nbytes + WORD_BYTES - 1) // WORD_BYTES
+            words = []
+            if word_count:
+                words = yield from self._read_words(
+                    self.base + self.layout.data_out, word_count
+                )
+            payload += words_to_bytes(words, nbytes)
+            yield from self._write_words(
+                self.base + self.layout.ctrl_out, [0]
+            )
+            if not ctrl & CTRL_MORE:
+                return payload
+
+    def _forward(self) -> Generator:
+        while True:
+            obj = yield from self.channel.recv(self.end)
+            is_request = self.channel.pending_requests(self.end) > 0
+            payload = encode_message(obj)
+            yield from self._send_chunks(payload, is_request)
+            self.messages_forwarded += 1
+            if is_request:
+                reply_bytes = yield from self._read_reply()
+                reply_obj, _ = decode_message(reply_bytes)
+                yield from self.channel.reply(self.end, reply_obj)
+                self.replies_returned += 1
+
+
+class ShipBusSlaveWrapper(Module):
+    """Delivers mailbox traffic to a SHIP slave PE over a local channel."""
+
+    def __init__(
+        self,
+        name,
+        parent=None,
+        ctx=None,
+        channel: ShipChannel = None,
+        mailbox: MailboxSlave = None,
+    ):
+        super().__init__(name, parent, ctx)
+        if channel is None or mailbox is None:
+            raise SimulationError(
+                f"wrapper {name!r} needs a SHIP channel and a mailbox"
+            )
+        self.channel = channel
+        self.end: ShipEnd = channel.claim_end(self)
+        self.mailbox = mailbox
+        self.messages_delivered = 0
+        self.replies_sent = 0
+        self.add_thread(self._deliver, "deliver")
+
+    def _put_chunks(self, payload: bytes) -> Generator:
+        layout = self.mailbox.layout
+        for chunk, ctrl in chunk_message(payload, layout, is_request=False):
+            while self.mailbox.out_ctrl & CTRL_VALID:
+                yield self.mailbox.out_consumed
+            self.mailbox.put_out_chunk(chunk, ctrl)
+
+    def _deliver(self) -> Generator:
+        buffer = b""
+        while True:
+            while not self.mailbox.in_ctrl & CTRL_VALID:
+                yield self.mailbox.doorbell_in
+            chunk, ctrl = self.mailbox.take_in_chunk()
+            buffer += chunk
+            if ctrl & CTRL_MORE:
+                continue
+            obj, _ = decode_message(buffer)
+            buffer = b""
+            if ctrl & CTRL_REQUEST:
+                reply = yield from self.channel.request(self.end, obj)
+                self.messages_delivered += 1
+                yield from self._put_chunks(encode_message(reply))
+                self.replies_sent += 1
+            else:
+                yield from self.channel.send(self.end, obj)
+                self.messages_delivered += 1
+
+
+@dataclass
+class ShipOverBusLink:
+    """Everything created by :func:`build_ship_over_bus`."""
+
+    master_channel: ShipChannel
+    slave_channel: ShipChannel
+    mailbox: MailboxSlave
+    master_wrapper: ShipBusMasterWrapper
+    slave_wrapper: ShipBusSlaveWrapper
+
+
+def build_ship_over_bus(
+    name: str,
+    parent,
+    bus,
+    mailbox_base: int,
+    capacity_words: int = 256,
+    master_priority: int = 0,
+    use_irq: bool = False,
+    poll_interval: Optional[SimTime] = None,
+    max_burst: int = 16,
+) -> ShipOverBusLink:
+    """Wire a complete SHIP-over-bus link and return its pieces.
+
+    The master PE binds a SHIP port to ``link.master_channel``; the slave
+    PE binds one to ``link.slave_channel``.  Everything in between —
+    mailbox, wrappers, bus socket, address mapping — is created here,
+    which is the "automatic mapping of the communication part" the
+    paper's abstract promises.
+    """
+    master_channel = ShipChannel(f"{name}_mch", parent)
+    slave_channel = ShipChannel(f"{name}_sch", parent)
+    mailbox = MailboxSlave(
+        f"{name}_mbox", parent,
+        capacity_words=capacity_words, with_irq=use_irq,
+    )
+    bus.attach_slave(
+        mailbox, mailbox_base, mailbox.layout.total_bytes,
+        name=f"{name}_mbox",
+    )
+    socket = bus.master_socket(f"{name}_master", priority=master_priority)
+    master_wrapper = ShipBusMasterWrapper(
+        f"{name}_mwrap", parent,
+        channel=master_channel,
+        socket=socket,
+        mailbox_base=mailbox_base,
+        layout=mailbox.layout,
+        poll_interval=poll_interval,
+        irq=mailbox.irq if use_irq else None,
+        max_burst=max_burst,
+    )
+    slave_wrapper = ShipBusSlaveWrapper(
+        f"{name}_swrap", parent,
+        channel=slave_channel,
+        mailbox=mailbox,
+    )
+    return ShipOverBusLink(
+        master_channel=master_channel,
+        slave_channel=slave_channel,
+        mailbox=mailbox,
+        master_wrapper=master_wrapper,
+        slave_wrapper=slave_wrapper,
+    )
+
+
+def connect_pin_master_to_bus(
+    name: str,
+    parent,
+    bus,
+    clock: Clock,
+    priority: int = 0,
+    accept_latency: int = 0,
+) -> Tuple[OcpPinBundle, OcpPinSlave]:
+    """Give a pin-level OCP master PE a path onto a bus CAM.
+
+    Returns the pin bundle the PE should drive and the adapter that
+    samples it into bus transactions — the "wrapper for pin-accurate OCP
+    interfaces" of §3.
+    """
+    bundle = OcpPinBundle(f"{name}_pins", parent, clock=clock)
+    socket = bus.master_socket(f"{name}_master", priority=priority)
+    adapter = OcpPinSlave(
+        f"{name}_pinadapter", parent,
+        bundle=bundle, target=socket, accept_latency=accept_latency,
+    )
+    return bundle, adapter

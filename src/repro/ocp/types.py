@@ -1,0 +1,150 @@
+"""OCP (Open Core Protocol) transaction types.
+
+The paper uses OCP below the CCATB level as the *openly-licensed*
+socket between processing elements and the communication architecture.
+This module defines the protocol vocabulary shared by the TL (transaction
+level) channels, the pin-level bundle, and the bus CAM attachment points:
+commands, responses, and the request/response payloads with burst
+support.
+
+Only the OCP subset the methodology needs is modeled: basic read/write,
+incrementing bursts, byte enables, and the DVA/ERR response codes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class OcpCmd(enum.Enum):
+    """OCP master command (MCmd)."""
+
+    IDLE = 0
+    WR = 1    # write
+    RD = 2    # read
+    RDEX = 3  # exclusive read (used by locking protocols)
+    WRNP = 5  # non-posted write (response required)
+
+    @property
+    def is_read(self) -> bool:
+        """True for read-class commands."""
+        return self in (OcpCmd.RD, OcpCmd.RDEX)
+
+    @property
+    def is_write(self) -> bool:
+        """True for write-class commands."""
+        return self in (OcpCmd.WR, OcpCmd.WRNP)
+
+
+class OcpResp(enum.Enum):
+    """OCP slave response (SResp)."""
+
+    NULL = 0  # no response
+    DVA = 1   # data valid / accept
+    FAIL = 2  # request failed (exclusive access lost)
+    ERR = 3   # error
+
+
+class BurstSeq(enum.Enum):
+    """OCP burst address sequence (MBurstSeq subset)."""
+
+    INCR = 0   # incrementing
+    STRM = 1   # streaming (same address)
+    WRAP = 2   # wrapping
+
+
+@dataclass
+class OcpRequest:
+    """One OCP transaction request (a full burst).
+
+    ``data`` carries one integer word per beat for writes; reads leave it
+    empty.  ``addr`` is the byte address of the first beat.
+    """
+
+    cmd: OcpCmd
+    addr: int
+    data: List[int] = field(default_factory=list)
+    burst_length: int = 1
+    burst_seq: BurstSeq = BurstSeq.INCR
+    byte_en: Optional[int] = None     # bitmask over bytes of a word
+    master_id: Optional[str] = None   # annotated by bus attachment points
+    #: word size in bytes; fixed per socket in real OCP, carried here so
+    #: monitors can compute byte counts without socket context
+    word_bytes: int = 4
+
+    def __post_init__(self):
+        if self.cmd is OcpCmd.IDLE:
+            raise ValueError("cannot build an OCP request with MCmd=IDLE")
+        if self.burst_length < 1:
+            raise ValueError(
+                f"burst_length must be >= 1, got {self.burst_length}"
+            )
+        if self.addr < 0:
+            raise ValueError(f"negative address {self.addr:#x}")
+        if self.cmd.is_write and len(self.data) != self.burst_length:
+            raise ValueError(
+                f"write burst of length {self.burst_length} carries "
+                f"{len(self.data)} data beats"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes this burst moves."""
+        return self.burst_length * self.word_bytes
+
+    def beat_address(self, beat: int) -> int:
+        """Byte address of the given beat per the burst sequence."""
+        if not 0 <= beat < self.burst_length:
+            raise ValueError(
+                f"beat {beat} outside burst of {self.burst_length}"
+            )
+        if self.burst_seq is BurstSeq.STRM:
+            return self.addr
+        if self.burst_seq is BurstSeq.WRAP:
+            span = self.burst_length * self.word_bytes
+            base = (self.addr // span) * span
+            return base + (self.addr - base + beat * self.word_bytes) % span
+        return self.addr + beat * self.word_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"OcpRequest({self.cmd.name} @ {self.addr:#x} x"
+            f"{self.burst_length})"
+        )
+
+
+@dataclass
+class OcpResponse:
+    """One OCP transaction response (a full burst).
+
+    ``data`` carries one word per beat for reads; writes return an empty
+    list and just the response code.
+    """
+
+    resp: OcpResp
+    data: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True for a DVA response."""
+        return self.resp is OcpResp.DVA
+
+    @classmethod
+    def error(cls) -> "OcpResponse":
+        """An ERR response."""
+        return cls(OcpResp.ERR)
+
+    @classmethod
+    def write_ok(cls) -> "OcpResponse":
+        """A successful write response."""
+        return cls(OcpResp.DVA)
+
+    @classmethod
+    def read_ok(cls, data: List[int]) -> "OcpResponse":
+        """A successful read response carrying ``data``."""
+        return cls(OcpResp.DVA, list(data))
+
+    def __repr__(self) -> str:
+        return f"OcpResponse({self.resp.name}, beats={len(self.data)})"

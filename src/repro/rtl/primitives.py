@@ -1,0 +1,97 @@
+"""Clocked RTL building blocks.
+
+Small synthesizable-style primitives used by the accessors and available
+for user RTL refinements: registers, counters, and a shift register.
+Each is a module with a method process on the clock's rising edge,
+so their simulation cost is per-cycle — the defining property of the
+pin-accurate level.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.clock import Clock
+from repro.kernel.module import Module
+from repro.kernel.signal import Signal
+
+
+class Reg(Module):
+    """A D-type register: ``q <= d`` on every rising clock edge.
+
+    ``en`` (optional signal) gates updates; ``reset`` (optional signal,
+    synchronous, active high) forces ``reset_value``.
+    """
+
+    def __init__(self, name, parent=None, ctx=None, clock: Clock = None,
+                 d: Signal = None, q: Signal = None,
+                 en: Optional[Signal] = None,
+                 reset: Optional[Signal] = None, reset_value=0):
+        super().__init__(name, parent, ctx)
+        if clock is None or d is None or q is None:
+            raise ValueError(f"Reg {name!r} needs clock, d and q signals")
+        self.clock = clock
+        self.d = d
+        self.q = q
+        self.en = en
+        self.reset = reset
+        self.reset_value = reset_value
+        self.add_method(self._tick, sensitive=[clock.posedge_event],
+                        dont_initialize=True)
+
+    def _tick(self) -> None:
+        if self.reset is not None and self.reset.read():
+            self.q.write(self.reset_value)
+            return
+        if self.en is None or self.en.read():
+            self.q.write(self.d.read())
+
+
+class Counter(Module):
+    """An up-counter with synchronous clear and enable."""
+
+    def __init__(self, name, parent=None, ctx=None, clock: Clock = None,
+                 width: int = 32, en: Optional[Signal] = None,
+                 clear: Optional[Signal] = None):
+        super().__init__(name, parent, ctx)
+        if clock is None:
+            raise ValueError(f"Counter {name!r} needs a clock")
+        self.clock = clock
+        self.width = width
+        self.en = en
+        self.clear = clear
+        self.count = Signal("count", self, init=0, check_writer=False)
+        self._mask = (1 << width) - 1
+        self.add_method(self._tick, sensitive=[clock.posedge_event],
+                        dont_initialize=True)
+
+    def _tick(self) -> None:
+        if self.clear is not None and self.clear.read():
+            self.count.write(0)
+            return
+        if self.en is None or self.en.read():
+            self.count.write((self.count.read() + 1) & self._mask)
+
+
+class ShiftRegister(Module):
+    """A serial-in shift register; ``q`` holds the packed contents."""
+
+    def __init__(self, name, parent=None, ctx=None, clock: Clock = None,
+                 depth: int = 8, d: Signal = None,
+                 en: Optional[Signal] = None):
+        super().__init__(name, parent, ctx)
+        if clock is None or d is None:
+            raise ValueError(f"ShiftRegister {name!r} needs clock and d")
+        self.clock = clock
+        self.depth = depth
+        self.d = d
+        self.en = en
+        self.q = Signal("q", self, init=0, check_writer=False)
+        self._mask = (1 << depth) - 1
+        self.add_method(self._tick, sensitive=[clock.posedge_event],
+                        dont_initialize=True)
+
+    def _tick(self) -> None:
+        if self.en is None or self.en.read():
+            shifted = ((self.q.read() << 1) | (1 if self.d.read() else 0))
+            self.q.write(shifted & self._mask)

@@ -1,0 +1,214 @@
+"""RTOS IPC primitives: semaphores, mutexes, message queues.
+
+These are the "behaviourally equivalent procedures based on RTOS
+functions" that eSW generation substitutes for SystemC primitives
+(kernel events -> semaphores, ``sc_fifo``/SHIP channels -> message
+queues).  All blocking calls release the CPU through the RTOS scheduler,
+so blocking a task lets lower-priority tasks run — the property that
+distinguishes them from raw kernel events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+from repro.kernel.errors import SimulationError
+from repro.kernel.event import Event
+from repro.kernel.object import SimObject
+from repro.rtos.core import Rtos, Task, TaskState
+
+
+class _Waitable(SimObject):
+    """Common blocking machinery: a wait queue of RTOS tasks."""
+
+    def __init__(self, name, os: Rtos):
+        super().__init__(name, os)
+        self.os = os
+        self._waiters: deque = deque()
+        self._wake = Event(self, f"{self.full_name}.wake")
+
+    def _block_current(self) -> Generator:
+        task = self.os._require_current()
+        task.state = TaskState.BLOCKED
+        self._waiters.append(task)
+        self.os._release_cpu(task)
+        while task in self._waiters:
+            yield self._wake
+        self.os._make_ready(task)
+        if self.os.current is None:
+            self.os._request_dispatch()
+        yield from self.os._wait_dispatch(task, make_ready=False)
+
+    def _wake_one(self) -> None:
+        if self._waiters:
+            self._waiters.popleft()
+            self._wake.notify()
+
+    def _wake_all(self) -> None:
+        if self._waiters:
+            self._waiters.clear()
+            self._wake.notify()
+
+
+class RtosSemaphore(_Waitable):
+    """Counting semaphore (``semTake`` / ``semGive``)."""
+
+    def __init__(self, name, os: Rtos, initial: int = 0):
+        super().__init__(name, os)
+        if initial < 0:
+            raise SimulationError(
+                f"semaphore {name!r}: initial count must be >= 0"
+            )
+        self._count = initial
+
+    def take(self) -> Generator:
+        """Blocking decrement."""
+        while self._count <= 0:
+            yield from self._block_current()
+        self._count -= 1
+
+    def try_take(self) -> bool:
+        """Non-blocking decrement attempt."""
+        if self._count <= 0:
+            return False
+        self._count -= 1
+        return True
+
+    def give(self) -> None:
+        """Increment; wakes the longest-waiting task.
+
+        Callable from tasks *and* from hardware-side processes (e.g. an
+        ISR giving a semaphore), like ``semGive`` from interrupt context.
+        """
+        self._count += 1
+        self._wake_one()
+
+    @property
+    def count(self) -> int:
+        """Current semaphore value."""
+        return self._count
+
+
+class RtosMutex(_Waitable):
+    """Ownership mutex; only the owner may unlock.
+
+    With ``priority_inheritance`` enabled (``SEM_INVERSION_SAFE``), a
+    high-priority task blocking on the mutex temporarily boosts the
+    owner to its priority, so a medium-priority CPU hog cannot starve
+    the owner and indirectly the blocked high-priority task — the
+    classic priority-inversion fix.
+    """
+
+    def __init__(self, name, os: Rtos, priority_inheritance: bool = False):
+        super().__init__(name, os)
+        self._owner: Optional[Task] = None
+        self.priority_inheritance = priority_inheritance
+        self._owner_base_priority: Optional[int] = None
+        self.boosts = 0
+
+    def lock(self) -> Generator:
+        """Blocking lock; boosts the owner under inheritance."""
+        task = self.os._require_current()
+        while self._owner is not None:
+            if (self.priority_inheritance
+                    and task.priority < self._owner.priority):
+                if self._owner_base_priority is None:
+                    self._owner_base_priority = self._owner.priority
+                self._owner.priority = task.priority
+                self.boosts += 1
+            yield from self._block_current()
+        self._owner = task
+
+    def unlock(self) -> None:
+        """Release; only the owner may unlock."""
+        task = self.os._require_current()
+        if self._owner is not task:
+            raise SimulationError(
+                f"mutex {self.full_name}: unlock by non-owner "
+                f"{task.name!r}"
+            )
+        if self._owner_base_priority is not None:
+            task.priority = self._owner_base_priority
+            self._owner_base_priority = None
+        self._owner = None
+        self._wake_one()
+
+    @property
+    def locked(self) -> bool:
+        """True while a task owns the mutex."""
+        return self._owner is not None
+
+    @property
+    def owner_name(self) -> Optional[str]:
+        """Name of the owning task, or None."""
+        return self._owner.name if self._owner else None
+
+
+class RtosMessageQueue(_Waitable):
+    """Bounded FIFO message queue (``msgQSend`` / ``msgQReceive``).
+
+    ``put`` from non-task context (hardware processes, ISRs) is allowed
+    when the queue has space — matching ``msgQSend(NO_WAIT)`` from an
+    ISR; a full queue raises in that case since an ISR cannot block.
+    """
+
+    def __init__(self, name, os: Rtos, capacity: int = 16):
+        super().__init__(name, os)
+        if capacity < 1:
+            raise SimulationError(
+                f"message queue {name!r}: capacity must be >= 1"
+            )
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._space = Event(self, f"{self.full_name}.space")
+
+    def put(self, item) -> Generator:
+        """Blocking send."""
+        if self.os.current is None:
+            if len(self._items) >= self.capacity:
+                raise SimulationError(
+                    f"message queue {self.full_name}: non-task put on a "
+                    f"full queue"
+                )
+            self._items.append(item)
+            self._wake_one()
+            return
+        while len(self._items) >= self.capacity:
+            task = self.os._require_current()
+            task.state = TaskState.BLOCKED
+            self.os._release_cpu(task)
+            yield self._space
+            self.os._make_ready(task)
+            if self.os.current is None:
+                self.os._request_dispatch()
+            yield from self.os._wait_dispatch(task, make_ready=False)
+        self._items.append(item)
+        self._wake_one()
+
+    def try_put(self, item) -> bool:
+        """Non-blocking send; False when full."""
+        if len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        self._wake_one()
+        return True
+
+    def get(self) -> Generator:
+        """Blocking receive; returns the item."""
+        while not self._items:
+            yield from self._block_current()
+        item = self._items.popleft()
+        self._space.notify()
+        return item
+
+    def try_get(self):
+        """Non-blocking receive; returns ``(ok, item)``."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self._space.notify()
+        return True, item
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,68 @@
+"""Automatic master/slave detection from SHIP call usage.
+
+The paper: *"While PEs that exclusively use the send and request
+functions implicitly represent a communication master, recv and reply
+are slave methods. When consequently applied, this allows for automatic
+master/slave detection."*
+
+Every SHIP endpoint records which of the four interface method calls it
+has used; :func:`classify` maps a usage set to a :class:`Role`.  The
+HW/SW interface generator and the OCP wrappers consume this to decide
+which side initiates bus transactions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+#: The master-side interface method calls.
+MASTER_CALLS = frozenset({"send", "request"})
+#: The slave-side interface method calls.
+SLAVE_CALLS = frozenset({"recv", "reply"})
+ALL_CALLS = MASTER_CALLS | SLAVE_CALLS
+
+
+class Role(enum.Enum):
+    """Communication role of a SHIP endpoint."""
+
+    UNKNOWN = "unknown"  # no calls observed yet
+    MASTER = "master"    # only send/request used
+    SLAVE = "slave"      # only recv/reply used
+    MIXED = "mixed"      # both kinds used — violates the SHIP discipline
+
+    @property
+    def is_determined(self) -> bool:
+        """True for MASTER or SLAVE."""
+        return self in (Role.MASTER, Role.SLAVE)
+
+
+def classify(calls: Iterable[str]) -> Role:
+    """Classify a set of observed interface method calls."""
+    used = frozenset(calls)
+    unknown = used - ALL_CALLS
+    if unknown:
+        raise ValueError(f"not SHIP interface method calls: {sorted(unknown)}")
+    uses_master = bool(used & MASTER_CALLS)
+    uses_slave = bool(used & SLAVE_CALLS)
+    if uses_master and uses_slave:
+        return Role.MIXED
+    if uses_master:
+        return Role.MASTER
+    if uses_slave:
+        return Role.SLAVE
+    return Role.UNKNOWN
+
+
+def roles_consistent(role_a: Role, role_b: Role) -> bool:
+    """Check that two endpoint roles can coexist on one channel.
+
+    A channel is consistent when no endpoint is MIXED and the two
+    determined roles are not equal (two masters or two slaves on one
+    point-to-point channel cannot communicate).
+    """
+    if Role.MIXED in (role_a, role_b):
+        return False
+    if role_a.is_determined and role_b.is_determined:
+        return role_a is not role_b
+    return True

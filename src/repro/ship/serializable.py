@@ -1,0 +1,394 @@
+"""``ship_serializable_if``: the SHIP serialization interface.
+
+The paper specifies that the SHIP channel transfers *any C++ object that
+implements the ``ship_serializable_if`` interface*, which defines the
+``serialize`` and ``deserialize`` functions used to turn communication
+objects into serial data streams and back.
+
+The Python equivalent is the :class:`ShipSerializable` ABC plus a type
+registry: every serializable class registers under a unique 16-bit type
+tag, and :func:`encode_message` / :func:`decode_message` frame payloads
+as ``tag (2B) | length (4B) | payload`` so a byte stream is
+self-describing — exactly what the HW/SW interface needs to push SHIP
+messages through shared memory.
+
+Built-in wrappers cover the common cases: integers, byte strings, text,
+floats, and homogeneous integer arrays.  Model-specific payloads are
+usually declared with :func:`ship_struct`::
+
+    @ship_struct
+    @dataclass
+    class PixelBlock:
+        x: int
+        y: int
+        data: bytes
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, List, Tuple, Type
+
+from repro.kernel.errors import KernelError
+
+
+class SerializationError(KernelError):
+    """Raised for malformed byte streams or unregistered types."""
+
+
+class ShipSerializable(ABC):
+    """The SHIP serializable interface (``ship_serializable_if``)."""
+
+    @abstractmethod
+    def serialize(self) -> bytes:
+        """Encode this object as a byte string."""
+
+    @classmethod
+    @abstractmethod
+    def deserialize(cls, data: bytes) -> "ShipSerializable":
+        """Decode an instance from ``data`` (inverse of :meth:`serialize`)."""
+
+
+#: type tag -> class
+_REGISTRY: Dict[int, Type[ShipSerializable]] = {}
+#: class -> type tag
+_TAGS: Dict[Type[ShipSerializable], int] = {}
+_NEXT_TAG = [1]
+
+_FRAME_HEADER = struct.Struct(">HI")  # tag, payload length
+
+
+def register_serializable(
+    cls: Type[ShipSerializable], tag: int = None
+) -> Type[ShipSerializable]:
+    """Register ``cls`` in the global type registry.
+
+    Explicit tags let independently-built HW and SW sides agree on the
+    wire format; automatic tags are fine within one simulation.
+    """
+    if tag is None:
+        tag = _NEXT_TAG[0]
+        while tag in _REGISTRY:
+            tag += 1
+        _NEXT_TAG[0] = tag + 1
+    if tag in _REGISTRY and _REGISTRY[tag] is not cls:
+        raise SerializationError(
+            f"type tag {tag} already registered to "
+            f"{_REGISTRY[tag].__name__}"
+        )
+    if not (0 < tag < 0x10000):
+        raise SerializationError(f"type tag out of range: {tag}")
+    _REGISTRY[tag] = cls
+    _TAGS[cls] = tag
+    return cls
+
+
+def registered_tag(cls: Type) -> int:
+    """The wire tag registered for ``cls``."""
+    try:
+        return _TAGS[cls]
+    except KeyError:
+        raise SerializationError(
+            f"{cls.__name__} is not a registered SHIP-serializable type"
+        ) from None
+
+
+def encode_message(obj: ShipSerializable) -> bytes:
+    """Frame ``obj`` as ``tag | length | payload`` bytes."""
+    tag = registered_tag(type(obj))
+    payload = obj.serialize()
+    if not isinstance(payload, (bytes, bytearray)):
+        raise SerializationError(
+            f"{type(obj).__name__}.serialize must return bytes, got "
+            f"{type(payload).__name__}"
+        )
+    return _FRAME_HEADER.pack(tag, len(payload)) + bytes(payload)
+
+
+def decode_message(data: bytes) -> Tuple[ShipSerializable, int]:
+    """Decode one framed message; returns ``(object, bytes_consumed)``."""
+    if len(data) < _FRAME_HEADER.size:
+        raise SerializationError(
+            f"truncated frame header: {len(data)} bytes"
+        )
+    tag, length = _FRAME_HEADER.unpack_from(data)
+    end = _FRAME_HEADER.size + length
+    if len(data) < end:
+        raise SerializationError(
+            f"truncated payload: expected {length} bytes, have "
+            f"{len(data) - _FRAME_HEADER.size}"
+        )
+    cls = _REGISTRY.get(tag)
+    if cls is None:
+        raise SerializationError(f"unknown type tag {tag}")
+    payload = data[_FRAME_HEADER.size:end]
+    return cls.deserialize(payload), end
+
+
+def decode_stream(data: bytes) -> List[ShipSerializable]:
+    """Decode a concatenation of framed messages."""
+    objects = []
+    offset = 0
+    view = bytes(data)
+    while offset < len(view):
+        obj, consumed = decode_message(view[offset:])
+        objects.append(obj)
+        offset += consumed
+    return objects
+
+
+# ---------------------------------------------------------------------------
+# Built-in serializable wrappers
+# ---------------------------------------------------------------------------
+
+
+class ShipInt(ShipSerializable):
+    """A signed 64-bit integer payload."""
+
+    _FORMAT = struct.Struct(">q")
+
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def serialize(self) -> bytes:
+        return self._FORMAT.pack(self.value)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "ShipInt":
+        """Decode a signed 64-bit integer payload."""
+        if len(data) != cls._FORMAT.size:
+            raise SerializationError(
+                f"ShipInt payload must be {cls._FORMAT.size} bytes"
+            )
+        return cls(cls._FORMAT.unpack(data)[0])
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ShipInt) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("ShipInt", self.value))
+
+    def __repr__(self) -> str:
+        return f"ShipInt({self.value})"
+
+
+class ShipFloat(ShipSerializable):
+    """A 64-bit IEEE-754 float payload."""
+
+    _FORMAT = struct.Struct(">d")
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def serialize(self) -> bytes:
+        return self._FORMAT.pack(self.value)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "ShipFloat":
+        """Decode an IEEE-754 double payload."""
+        return cls(cls._FORMAT.unpack(data)[0])
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ShipFloat) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("ShipFloat", self.value))
+
+    def __repr__(self) -> str:
+        return f"ShipFloat({self.value})"
+
+
+class ShipBytes(ShipSerializable):
+    """A raw byte-string payload."""
+
+    def __init__(self, value: bytes):
+        self.value = bytes(value)
+
+    def serialize(self) -> bytes:
+        return self.value
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "ShipBytes":
+        """Wrap the raw payload bytes."""
+        return cls(data)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ShipBytes) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("ShipBytes", self.value))
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+    def __repr__(self) -> str:
+        return f"ShipBytes({self.value!r})"
+
+
+class ShipString(ShipSerializable):
+    """A UTF-8 text payload."""
+
+    def __init__(self, value: str):
+        self.value = str(value)
+
+    def serialize(self) -> bytes:
+        return self.value.encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "ShipString":
+        """Decode a UTF-8 payload."""
+        return cls(data.decode("utf-8"))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ShipString) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("ShipString", self.value))
+
+    def __repr__(self) -> str:
+        return f"ShipString({self.value!r})"
+
+
+class ShipIntArray(ShipSerializable):
+    """A homogeneous array of signed 32-bit integers."""
+
+    def __init__(self, values):
+        self.values = [int(v) for v in values]
+
+    def serialize(self) -> bytes:
+        return struct.pack(f">{len(self.values)}i", *self.values)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "ShipIntArray":
+        """Decode a packed array of 32-bit integers."""
+        if len(data) % 4:
+            raise SerializationError(
+                f"ShipIntArray payload length {len(data)} not a multiple of 4"
+            )
+        count = len(data) // 4
+        return cls(struct.unpack(f">{count}i", data))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ShipIntArray) and other.values == self.values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"ShipIntArray({self.values})"
+
+
+for _cls, _tag in (
+    (ShipInt, 1),
+    (ShipFloat, 2),
+    (ShipBytes, 3),
+    (ShipString, 4),
+    (ShipIntArray, 5),
+):
+    register_serializable(_cls, _tag)
+
+
+# ---------------------------------------------------------------------------
+# Struct-style serializables from dataclasses
+# ---------------------------------------------------------------------------
+
+_FIELD_CODECS: Dict[type, Tuple[Callable, Callable]] = {}
+
+
+def _encode_field(value: Any) -> bytes:
+    """Length-prefixed encoding of one dataclass field."""
+    if isinstance(value, bool):
+        body, code = (b"\x01" if value else b"\x00"), b"B"
+    elif isinstance(value, int):
+        body, code = struct.pack(">q", value), b"I"
+    elif isinstance(value, float):
+        body, code = struct.pack(">d", value), b"F"
+    elif isinstance(value, bytes):
+        body, code = value, b"Y"
+    elif isinstance(value, str):
+        body, code = value.encode("utf-8"), b"S"
+    elif isinstance(value, (list, tuple)) and all(
+        isinstance(v, int) for v in value
+    ):
+        body, code = struct.pack(f">{len(value)}q", *value), b"L"
+    else:
+        raise SerializationError(
+            f"unsupported field type in ship_struct: {type(value).__name__}"
+        )
+    return code + struct.pack(">I", len(body)) + body
+
+
+def _decode_field(data: bytes, offset: int) -> Tuple[Any, int]:
+    code = data[offset:offset + 1]
+    (length,) = struct.unpack_from(">I", data, offset + 1)
+    start = offset + 5
+    body = data[start:start + length]
+    if len(body) != length:
+        raise SerializationError("truncated ship_struct field")
+    if code == b"B":
+        value: Any = body == b"\x01"
+    elif code == b"I":
+        value = struct.unpack(">q", body)[0]
+    elif code == b"F":
+        value = struct.unpack(">d", body)[0]
+    elif code == b"Y":
+        value = body
+    elif code == b"S":
+        value = body.decode("utf-8")
+    elif code == b"L":
+        value = list(struct.unpack(f">{length // 8}q", body))
+    else:
+        raise SerializationError(f"unknown ship_struct field code {code!r}")
+    return value, start + length
+
+
+def ship_struct(cls=None, *, tag: int = None):
+    """Class decorator making a dataclass SHIP-serializable.
+
+    Supported field types: bool, int, float, bytes, str, and lists of
+    ints.  Encoding is per-field and self-describing, so the format
+    survives field reordering only if both sides share the class — the
+    same constraint a C++ ``serialize`` method has.
+    """
+
+    def wrap(klass):
+        if not dataclasses.is_dataclass(klass):
+            raise SerializationError(
+                f"ship_struct requires a dataclass, got {klass.__name__}"
+            )
+
+        def serialize(self) -> bytes:
+            chunks = []
+            for fld in dataclasses.fields(self):
+                chunks.append(_encode_field(getattr(self, fld.name)))
+            return b"".join(chunks)
+
+        def deserialize(kls, data: bytes):
+            values = []
+            offset = 0
+            for fld in dataclasses.fields(kls):
+                if offset >= len(data):
+                    raise SerializationError(
+                        f"truncated {kls.__name__} payload"
+                    )
+                value, offset = _decode_field(data, offset)
+                values.append(value)
+            return kls(*values)
+
+        klass.serialize = serialize
+        klass.deserialize = classmethod(deserialize)
+        ShipSerializable.register(klass)
+        register_serializable(klass, tag)
+        return klass
+
+    return wrap(cls) if cls is not None else wrap
+
+
+def clear_user_registry() -> None:
+    """Remove all non-builtin registrations (test isolation helper)."""
+    builtin_tags = {1, 2, 3, 4, 5}
+    for tag in [t for t in _REGISTRY if t not in builtin_tags]:
+        cls = _REGISTRY.pop(tag)
+        _TAGS.pop(cls, None)

@@ -1,0 +1,35 @@
+"""``repro.trace`` — waveform tracing, transaction recording, statistics.
+
+* :class:`VcdTracer` dumps signal changes to IEEE 1364 VCD files.
+* :class:`TransactionRecorder` captures completed TLM transactions with
+  timestamps, sizes and attributes; the exploration and accuracy
+  experiments are built on its output.
+* :mod:`repro.trace.stats` provides streaming statistics (Welford mean /
+  variance, histograms, throughput meters).
+"""
+
+from repro.trace.stats import (
+    Histogram,
+    OnlineStats,
+    ThroughputMeter,
+    TimeStats,
+    geometric_mean,
+)
+from repro.trace.transaction import (
+    TransactionRecord,
+    TransactionRecorder,
+    latency_histogram,
+)
+from repro.trace.vcd import VcdTracer
+
+__all__ = [
+    "Histogram",
+    "OnlineStats",
+    "ThroughputMeter",
+    "TimeStats",
+    "TransactionRecord",
+    "TransactionRecorder",
+    "VcdTracer",
+    "geometric_mean",
+    "latency_histogram",
+]

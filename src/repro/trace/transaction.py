@@ -1,0 +1,170 @@
+"""Transaction recording.
+
+Every TLM channel in the library (SHIP, OCP, the bus CAMs) can be handed
+a :class:`TransactionRecorder`; it captures one :class:`TransactionRecord`
+per completed transaction with begin/end timestamps and free-form
+attributes.  The recorder is what the CCATB-accuracy experiment (E2) and
+the exploration engine (E3) read their cycle counts and latencies from.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.kernel.simtime import SimTime
+from repro.trace.stats import TimeStats
+
+
+@dataclass
+class TransactionRecord:
+    """One completed transaction."""
+
+    uid: int
+    channel: str
+    kind: str               # e.g. "read", "write", "send", "request"
+    initiator: str
+    target: str
+    begin: SimTime
+    end: SimTime
+    nbytes: int = 0
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> SimTime:
+        """End minus begin."""
+        return self.end - self.begin
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict row for tables and CSV."""
+        row = {
+            "uid": self.uid,
+            "channel": self.channel,
+            "kind": self.kind,
+            "initiator": self.initiator,
+            "target": self.target,
+            "begin_ns": self.begin.to("ns"),
+            "end_ns": self.end.to("ns"),
+            "latency_ns": self.latency.to("ns"),
+            "nbytes": self.nbytes,
+        }
+        row.update(self.attributes)
+        return row
+
+
+class TransactionRecorder:
+    """Collects transaction records and derives summary statistics."""
+
+    def __init__(self, keep_records: bool = True):
+        self.keep_records = keep_records
+        self.records: List[TransactionRecord] = []
+        self.count = 0
+        self.total_bytes = 0
+        self._uid = itertools.count()
+        self.latency_by_kind: Dict[str, TimeStats] = {}
+        self._listeners: List[Callable[[TransactionRecord], None]] = []
+
+    def record(
+        self,
+        channel: str,
+        kind: str,
+        initiator: str,
+        target: str,
+        begin: SimTime,
+        end: SimTime,
+        nbytes: int = 0,
+        **attributes,
+    ) -> TransactionRecord:
+        """Store one completed transaction; returns the record."""
+        rec = TransactionRecord(
+            uid=next(self._uid),
+            channel=channel,
+            kind=kind,
+            initiator=initiator,
+            target=target,
+            begin=begin,
+            end=end,
+            nbytes=nbytes,
+            attributes=attributes,
+        )
+        self.count += 1
+        self.total_bytes += nbytes
+        self.latency_by_kind.setdefault(kind, TimeStats()).add(rec.latency)
+        if self.keep_records:
+            self.records.append(rec)
+        for listener in self._listeners:
+            listener(rec)
+        return rec
+
+    def subscribe(self, listener: Callable[[TransactionRecord], None]) -> None:
+        """Call ``listener`` for every new record."""
+        self._listeners.append(listener)
+
+    # -- queries -----------------------------------------------------------------
+
+    def by_kind(self, kind: str) -> List[TransactionRecord]:
+        """Kept records of the given kind."""
+        return [r for r in self.records if r.kind == kind]
+
+    def by_initiator(self, initiator: str) -> List[TransactionRecord]:
+        """Kept records from the given initiator."""
+        return [r for r in self.records if r.initiator == initiator]
+
+    def latency_stats(self, kind: Optional[str] = None) -> TimeStats:
+        """Latency statistics, optionally restricted to one kind."""
+        if kind is not None:
+            return self.latency_by_kind.get(kind, TimeStats())
+        merged = TimeStats()
+        for rec in self.records:
+            merged.add(rec.latency)
+        return merged
+
+    def to_csv(self, path: str) -> None:
+        """Dump all records to a CSV file for offline analysis."""
+        if not self.records:
+            with open(path, "w", newline="", encoding="utf-8") as fh:
+                fh.write("")
+            return
+        keys = list(self.records[0].as_row().keys())
+        for rec in self.records:
+            for key in rec.as_row():
+                if key not in keys:
+                    keys.append(key)
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.DictWriter(fh, fieldnames=keys, restval="")
+            writer.writeheader()
+            for rec in self.records:
+                writer.writerow(rec.as_row())
+
+    def clear(self) -> None:
+        """Drop records and reset statistics."""
+        self.records.clear()
+        self.count = 0
+        self.total_bytes = 0
+        self.latency_by_kind.clear()
+
+
+def latency_histogram(recorder: TransactionRecorder, bins: int = 20,
+                      kind: Optional[str] = None):
+    """Build a latency :class:`~repro.trace.stats.Histogram` (ns) from a
+    recorder's kept records.
+
+    The bin range spans the observed min/max; requires
+    ``keep_records=True`` and at least one record.
+    """
+    from repro.trace.stats import Histogram
+
+    records = (recorder.by_kind(kind) if kind is not None
+               else recorder.records)
+    if not records:
+        raise ValueError("no records to histogram")
+    values = [r.latency.to("ns") for r in records]
+    low, high = min(values), max(values)
+    if high <= low:
+        high = low + 1.0
+    hist = Histogram(low, high + 1e-9, bins=bins)
+    for v in values:
+        hist.add(v)
+    return hist

@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import Module, SimContext
+
+
+@pytest.fixture
+def ctx() -> SimContext:
+    """A fresh simulation context."""
+    return SimContext()
+
+
+@pytest.fixture
+def top(ctx) -> Module:
+    """A fresh top-level module in a fresh context."""
+    return Module("top", ctx=ctx)

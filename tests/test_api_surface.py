@@ -1,0 +1,224 @@
+"""Coverage for the remaining public API surface.
+
+Targets members an audit found untouched by the rest of the suite, so
+every public entry point is exercised at least once.
+"""
+
+import pytest
+
+from repro.kernel import (
+    Event,
+    Fifo,
+    Module,
+    SimContext,
+    ns,
+    us,
+)
+
+
+class TestKernelSurface:
+    def test_add_elaboration_hook_runs_once(self, ctx, top):
+        calls = []
+        ctx.add_elaboration_hook(lambda: calls.append("hook"))
+        ctx.run(ns(1))
+        ctx.run(ns(1))  # elaboration happens only once
+        assert calls == ["hook"]
+
+    def test_event_triggered_property(self, ctx, top):
+        ev = Event(ctx, "ev")
+        snap = []
+
+        def waiter():
+            yield ev
+            snap.append(ev.triggered)   # true in the wake delta
+            yield ns(5)
+            snap.append(ev.triggered)   # stale in a later delta
+
+        def kicker():
+            yield ns(5)
+            ev.notify()
+
+        ctx.register_thread(waiter, "w")
+        ctx.register_thread(kicker, "k")
+        ctx.run()
+        assert snap == [True, False]
+
+
+class TestRtosSurface:
+    def test_yield_cpu_rotates_equal_priority(self, ctx, top):
+        from repro.rtos import Rtos
+
+        os = Rtos("os", top)
+        order = []
+
+        def a():
+            order.append("a1")
+            yield from os.yield_cpu()
+            order.append("a2")
+            yield from os.execute(ns(10))
+
+        def b():
+            order.append("b1")
+            yield from os.execute(ns(10))
+
+        os.create_task(a, "a", priority=5)
+        os.create_task(b, "b", priority=5)
+        ctx.run()
+        # a voluntarily yielded, so b ran before a resumed
+        assert order.index("b1") < order.index("a2")
+
+    def test_ready_count(self, ctx, top):
+        from repro.rtos import Rtos
+
+        os = Rtos("os", top)
+        seen = []
+
+        def watcher():
+            seen.append(os.ready_count)
+            yield from os.execute(us(1))
+
+        def sleeper():
+            yield from os.execute(us(1))
+
+        os.create_task(watcher, "w", priority=1)
+        os.create_task(sleeper, "s", priority=2)
+        ctx.run()
+        # when the high-priority watcher sampled, the sleeper was ready
+        assert seen == [1]
+
+
+class TestShipSurface:
+    def test_endpoint_owner_names(self, ctx, top):
+        from repro.ship import ShipChannel, ShipEnd
+
+        chan = ShipChannel("c", top)
+        chan.claim_end("alpha")
+        assert chan.endpoint_owner(ShipEnd.A) == "alpha"
+        assert chan.endpoint_owner(ShipEnd.B) is None
+
+    def test_ship_ports_listing(self, ctx, top):
+        from repro.models import ProcessingElement
+        from repro.ship import ShipChannel, ShipMasterPort
+
+        chan = ShipChannel("c", top)
+
+        class PE(ProcessingElement):
+            def __init__(self, name, parent):
+                super().__init__(name, parent)
+                self.p = self.ship_port("p", ShipMasterPort)
+                self.p.bind(chan)
+                self.add_thread(self.run)
+
+            def run(self):
+                """No traffic needed for this structural test."""
+                yield ns(1)
+
+        pe = PE("pe", top)
+        assert pe.ship_ports == [pe.p]
+
+
+class TestOcpSurface:
+    def test_tl1_event_accessors(self, ctx, top):
+        from repro.ocp import OcpCmd, OcpRequest, OcpTL1Channel
+
+        chan = OcpTL1Channel("c", top)
+        log = []
+
+        def listener():
+            yield chan.request_put_event
+            log.append("request")
+            yield chan.response_put_event
+            log.append("response")
+
+        def master():
+            yield ns(1)
+            yield from chan.put_request(
+                OcpRequest(OcpCmd.RD, 0, burst_length=1)
+            )
+
+        def slave():
+            from repro.ocp import OcpResponse
+
+            yield from chan.get_request()
+            yield from chan.put_response(OcpResponse.read_ok([1]))
+
+        ctx.register_thread(listener, "l")
+        ctx.register_thread(master, "m")
+        ctx.register_thread(slave, "s")
+        ctx.run()
+        assert log == ["request", "response"]
+
+    def test_pin_bundle_response_active(self, ctx, top):
+        from repro.kernel import Clock
+        from repro.ocp import OcpPinBundle, OcpResp
+
+        clk = Clock("clk", top, period=ns(10))
+        bundle = OcpPinBundle("ocp", top, clock=clk)
+        states = []
+
+        def driver():
+            states.append(bundle.response_active)
+            bundle.s_resp.write(OcpResp.DVA.value)
+            yield ns(1)
+            states.append(bundle.response_active)
+            bundle.idle_response()
+            yield ns(1)
+            states.append(bundle.response_active)
+            ctx.stop()
+
+        ctx.register_thread(driver, "d")
+        ctx.run(us(1))
+        assert states == [False, True, False]
+
+
+class TestBridgeAndStatsSurface:
+    def test_bridge_buffered_writes_visible(self, ctx, top):
+        from repro.cam import MemorySlave, OpbBus, PlbBus, PlbOpbBridge
+        from repro.ocp import OcpCmd, OcpRequest
+
+        plb = PlbBus("plb", top)
+        opb = OpbBus("opb", top)
+        bridge = PlbOpbBridge("br", top, plb=plb, opb=opb,
+                              buffer_depth=8)
+        plb.attach_slave(bridge, 0x100000, 1 << 12)
+        periph = MemorySlave("p", top, size=1 << 12)
+        opb.attach_slave(periph, 0x100000, 1 << 12)
+        depths = []
+        sock = plb.master_socket("cpu")
+
+        def body():
+            yield from sock.transport(OcpRequest(
+                OcpCmd.WR, 0x100000, data=[1], burst_length=1))
+            depths.append(bridge.buffered_writes)
+
+        ctx.register_thread(body, "t")
+        ctx.run()
+        assert depths and depths[0] >= 0
+        assert bridge.buffered_writes == 0  # fully drained at the end
+
+    def test_time_stats_stddev(self):
+        from repro.trace import TimeStats
+
+        stats = TimeStats()
+        for v in (10, 20, 30):
+            stats.add(ns(v))
+        assert stats.stddev_ns == pytest.approx(8.165, abs=0.01)
+
+    def test_stage_result_sim_ns(self):
+        from repro.flow import DesignFlow
+        from repro.models import AbstractionLevel
+
+        flow = DesignFlow("f")
+
+        def builder():
+            ctx = SimContext()
+
+            def body():
+                yield ns(25)
+
+            ctx.register_thread(body, "t")
+            return ctx, lambda: []
+
+        flow.register(AbstractionLevel.CCATB, builder)
+        result = flow.run_stage(AbstractionLevel.CCATB)
+        assert result.sim_ns == 25.0

@@ -1,0 +1,100 @@
+"""Unit tests for the clock channel."""
+
+import pytest
+
+from repro.kernel import Clock, SimulationError, ns, ps
+
+
+class TestClockBasics:
+    def test_posedges_at_period(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10))
+        edges = []
+
+        def counter():
+            while True:
+                yield clk.posedge_event
+                edges.append(str(ctx.now))
+
+        ctx.register_thread(counter, "c")
+        ctx.run(ns(35))
+        assert edges == ["0 s", "10 ns", "20 ns", "30 ns"]
+
+    def test_duty_cycle_controls_fall_time(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10), duty_cycle=0.3)
+        falls = []
+
+        def neg():
+            while True:
+                yield clk.negedge_event
+                falls.append(str(ctx.now))
+
+        ctx.register_thread(neg, "n")
+        ctx.run(ns(25))
+        assert falls == ["3 ns", "13 ns", "23 ns"]
+
+    def test_start_time_delays_first_edge(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10), start_time=ns(7))
+        edges = []
+
+        def pos():
+            yield clk.posedge_event
+            edges.append(str(ctx.now))
+
+        ctx.register_thread(pos, "p")
+        ctx.run(ns(30))
+        assert edges == ["7 ns"]
+
+    def test_negedge_first(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10), posedge_first=False)
+        assert clk.read() is True  # init level is high
+        first = []
+
+        def neg():
+            yield clk.negedge_event
+            first.append(str(ctx.now))
+
+        ctx.register_thread(neg, "n")
+        ctx.run(ns(15))
+        assert first == ["0 s"]
+
+    def test_level_readable(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10), duty_cycle=0.5)
+        samples = []
+
+        def sampler():
+            yield ns(2)     # high phase
+            samples.append(clk.read())
+            yield ns(5)     # 7ns: low phase
+            samples.append(clk.read())
+
+        ctx.register_thread(sampler, "s")
+        ctx.run(ns(20))
+        assert samples == [True, False]
+
+
+class TestClockValidation:
+    def test_zero_period_rejected(self, ctx, top):
+        with pytest.raises(SimulationError):
+            Clock("clk", top, period=ns(0))
+
+    def test_missing_period_rejected(self, ctx, top):
+        with pytest.raises(SimulationError):
+            Clock("clk", top)
+
+    def test_bad_duty_cycle_rejected(self, ctx, top):
+        with pytest.raises(SimulationError):
+            Clock("clk_lo", top, period=ns(10), duty_cycle=0.0)
+        with pytest.raises(SimulationError):
+            Clock("clk_hi", top, period=ns(10), duty_cycle=1.0)
+
+
+class TestClockHelpers:
+    def test_cycles_duration(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10))
+        assert clk.cycles(7) == ns(70)
+
+    def test_frequency(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10))
+        assert clk.frequency_hz == pytest.approx(100e6)
+        fast = Clock("fast", top, period=ps(500))
+        assert fast.frequency_hz == pytest.approx(2e9)

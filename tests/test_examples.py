@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs green from a clean directory.
+
+Examples are documentation that executes; a broken example is a doc
+bug, so each one runs as a subprocess (like a user would run it) inside
+a temp directory (so artifact files never pollute the repo).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert len(EXAMPLES) >= 6
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_prototype_example_writes_vcd(tmp_path):
+    subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "prototype_generation.py")],
+        cwd=tmp_path, capture_output=True, text=True, timeout=300,
+        check=True,
+    )
+    vcd = tmp_path / "prototype_pins.vcd"
+    assert vcd.exists()
+    text = vcd.read_text()
+    assert "$enddefinitions" in text
+    assert "dma_MCmd" in text

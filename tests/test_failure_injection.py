@@ -1,0 +1,180 @@
+"""Failure-injection tests: error responses propagate, never hang.
+
+A communication stack is judged by its failure paths: these tests
+inject slave errors, decode misses, and protocol breakage at different
+layers and check that every initiator observes a diagnosable failure —
+an ERR response or a raised SimulationError — rather than a hang or
+silent corruption.
+"""
+
+import pytest
+
+from repro.kernel import Module, SimulationError, ns, us
+from repro.cam import GenericBus, MemorySlave, PlbBus
+from repro.models import MailboxLayout, build_ship_over_bus
+from repro.models.wrappers import ShipBusMasterWrapper
+from repro.ocp import OcpCmd, OcpRequest, OcpResp, OcpResponse
+from repro.rtos import Rtos
+from repro.ship import ShipChannel, ShipInt, ShipMasterPort
+
+
+class FlakySlave:
+    """Returns ERR every ``period``-th access, DVA otherwise."""
+
+    def __init__(self, period=3):
+        self.period = period
+        self.accesses = 0
+        self.words = {}
+
+    def access(self, req):
+        """Functional access with periodic injected errors."""
+        self.accesses += 1
+        if self.accesses % self.period == 0:
+            return OcpResponse.error()
+        if req.cmd.is_write:
+            for i in range(req.burst_length):
+                self.words[req.beat_address(i)] = req.data[i]
+            return OcpResponse.write_ok()
+        return OcpResponse.read_ok(
+            [self.words.get(req.beat_address(i), 0)
+             for i in range(req.burst_length)]
+        )
+
+
+class TestBusErrorPaths:
+    def test_flaky_slave_errors_reach_the_master(self, ctx, top):
+        bus = GenericBus("bus", top, clock_period=ns(10))
+        flaky = FlakySlave(period=2)
+        bus.attach_slave(flaky, 0, 4096, name="flaky")
+        sock = bus.master_socket("m0")
+        responses = []
+
+        def body():
+            for i in range(6):
+                resp = yield from sock.transport(
+                    OcpRequest(OcpCmd.WR, 0, data=[i], burst_length=1)
+                )
+                responses.append(resp.resp)
+
+        ctx.register_thread(body, "t")
+        ctx.run()
+        assert responses.count(OcpResp.ERR) == 3
+        assert bus.stats.error_responses == 3
+
+    def test_errors_do_not_stall_later_transactions(self, ctx, top):
+        bus = GenericBus("bus", top, clock_period=ns(10))
+        flaky = FlakySlave(period=2)
+        bus.attach_slave(flaky, 0, 4096, name="flaky")
+        mem = MemorySlave("mem", top, size=4096, read_wait=0,
+                          write_wait=0)
+        bus.attach_slave(mem, 0x10000, 4096)
+        sock = bus.master_socket("m0")
+        out = []
+
+        def body():
+            yield from sock.transport(
+                OcpRequest(OcpCmd.WR, 0, data=[1], burst_length=1))
+            yield from sock.transport(
+                OcpRequest(OcpCmd.WR, 0, data=[2], burst_length=1))
+            resp = yield from sock.transport(
+                OcpRequest(OcpCmd.WR, 0x10000, data=[3],
+                           burst_length=1))
+            out.append(resp.resp)
+
+        ctx.register_thread(body, "t")
+        ctx.run()
+        assert out == [OcpResp.DVA]
+        assert mem.peek_word(0) == 3
+
+
+class TestWrapperErrorPaths:
+    def test_ship_wrapper_raises_on_unmapped_mailbox(self, ctx, top):
+        """A wrapper pointed at a hole in the address map fails loudly."""
+        bus = GenericBus("bus", top, clock_period=ns(10))
+        chan = ShipChannel("chan", top)
+        ShipBusMasterWrapper(
+            "wrap", top, channel=chan,
+            socket=bus.master_socket("w"),
+            mailbox_base=0xDEAD000,       # nothing mapped there
+            layout=MailboxLayout(),
+        )
+        port = ShipMasterPort("p", top)
+        port.bind(chan)
+
+        def body():
+            yield from port.send(ShipInt(1))
+
+        ctx.register_thread(body, "t")
+        with pytest.raises(SimulationError, match="read failed"):
+            ctx.run(us(1000))
+
+    def test_hwsw_driver_raises_on_unmapped_mailbox(self, ctx, top):
+        plb = PlbBus("plb", top)
+        # map only a memory; the driver's mailbox address is a hole
+        mem = MemorySlave("mem", top, size=4096)
+        plb.attach_slave(mem, 0, 4096)
+        os = Rtos("os", top)
+        from repro.hwsw import MailboxDriver
+
+        driver = MailboxDriver(os, plb.master_socket("cpu"), 0x90000)
+
+        def main():
+            yield from driver.push_message(b"x", is_request=False)
+
+        os.create_task(main, "main", priority=5)
+        with pytest.raises(SimulationError, match="read failed"):
+            ctx.run(us(1000))
+
+
+class TestLinkRobustness:
+    def test_link_survives_error_traffic_on_same_bus(self, ctx, top):
+        """Foreign masters hammering an erroring slave must not corrupt
+        an unrelated SHIP link on the same bus."""
+        plb = PlbBus("plb", top)
+        flaky = FlakySlave(period=1)  # always errors
+        plb.attach_slave(flaky, 0x100, 64, name="flaky")
+        link = build_ship_over_bus("lnk", top, plb, 0x8000,
+                                   capacity_words=16,
+                                   poll_interval=ns(100))
+        got = []
+
+        class Tx(Module):
+            def __init__(self, name, parent, chan):
+                super().__init__(name, parent)
+                self.chan = chan
+                self.end = chan.claim_end(self)
+                self.add_thread(self.run)
+
+            def run(self):
+                """Send three values over the link."""
+                for i in range(3):
+                    yield from self.chan.send(self.end, ShipInt(i))
+
+        class Rx(Module):
+            def __init__(self, name, parent, chan):
+                super().__init__(name, parent)
+                self.chan = chan
+                self.end = chan.claim_end(self)
+                self.add_thread(self.run)
+
+            def run(self):
+                """Record three received values."""
+                for _ in range(3):
+                    msg = yield from self.chan.recv(self.end)
+                    got.append(msg.value)
+
+        Tx("tx", top, link.master_channel)
+        Rx("rx", top, link.slave_channel)
+
+        def hammer():
+            sock = plb.master_socket("hammer", priority=0)
+            for _ in range(20):
+                yield from sock.transport(
+                    OcpRequest(OcpCmd.WR, 0x100, data=[0],
+                               burst_length=1)
+                )
+
+        ctx.register_thread(hammer, "h")
+        ctx.run(us(100_000))
+        assert got == [0, 1, 2]
+        assert plb.stats.error_responses == 20

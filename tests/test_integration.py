@@ -1,0 +1,159 @@
+"""Integration tests: whole systems across abstraction levels.
+
+These are the end-to-end checks behind the paper's flow promise: the
+same application, refined through every level, produces bit-identical
+results while timing detail grows monotonically.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import us
+from repro.models import AbstractionLevel
+from repro.flow import DesignFlow
+from repro.apps import (
+    LEVEL_BUILDERS,
+    build_cam,
+    build_ccatb,
+    build_hwsw_system,
+    build_pv,
+    generate_block,
+    quantize,
+    reference_output,
+    walsh_hadamard,
+)
+
+BLOCKS = 6
+GOLDEN = reference_output(BLOCKS)
+
+
+class TestPipelineAcrossLevels:
+    @pytest.mark.parametrize("name,builder", LEVEL_BUILDERS)
+    def test_every_level_matches_golden_model(self, name, builder):
+        system = builder(BLOCKS)
+        if name == "prototype":
+            system.ctx.run(us(100_000))
+        else:
+            system.ctx.run()
+        assert system.outputs() == GOLDEN, f"level {name} diverged"
+
+    def test_timing_detail_grows_monotonically(self):
+        times = []
+        for name, builder in LEVEL_BUILDERS:
+            system = builder(BLOCKS)
+            if name == "prototype":
+                system.ctx.run(us(100_000))
+            else:
+                system.ctx.run()
+            times.append(system.ctx.now)
+        assert all(a <= b for a, b in zip(times, times[1:])), times
+
+    def test_simulation_cost_grows_with_detail(self):
+        """Delta-cycle counts (simulation effort) must rise toward RTL."""
+        deltas = []
+        for name, builder in LEVEL_BUILDERS:
+            system = builder(BLOCKS)
+            if name == "prototype":
+                system.ctx.run(us(100_000))
+            else:
+                system.ctx.run()
+            deltas.append(system.ctx.delta_count)
+        assert deltas[0] < deltas[-1]
+        assert deltas == sorted(deltas)
+
+    def test_cam_level_generates_real_bus_traffic(self):
+        system = build_cam(BLOCKS)
+        system.ctx.run()
+        plb = system.extras["plb"]
+        assert plb.stats.transactions > 2 * BLOCKS
+        assert plb.stats.bytes > 0
+
+    def test_irq_variant_of_cam_level(self):
+        system = build_cam(BLOCKS, use_irq=True)
+        system.ctx.run()
+        assert system.outputs() == GOLDEN
+
+
+class TestDesignFlowDriver:
+    def test_flow_report_over_real_application(self):
+        flow = DesignFlow("jpeg_pipeline")
+        levels = {
+            "component-assembly": AbstractionLevel.COMPONENT_ASSEMBLY,
+            "ccatb": AbstractionLevel.CCATB,
+            "cam": AbstractionLevel.COMM_ARCHITECTURE,
+            "prototype": AbstractionLevel.PIN_ACCURATE,
+        }
+        for name, builder in LEVEL_BUILDERS:
+            def make(builder=builder):
+                system = builder(BLOCKS)
+                return system.ctx, system.outputs
+            flow.register(levels[name], make)
+        report = flow.run_all(max_time=us(100_000))
+        assert report.functionally_equivalent
+        assert report.timing_monotone()
+        table = report.format_table()
+        assert "PIN_ACCURATE" in table
+
+
+class TestHwSwSystem:
+    def test_partitioned_system_matches_golden(self):
+        system = build_hwsw_system(blocks=4)
+        system.ctx.run(us(100_000))
+        assert system.outputs() == reference_output(4)
+        assert system.accelerator.blocks_processed == 4
+
+    def test_polling_variant_matches_golden(self):
+        from repro.kernel import ns
+
+        system = build_hwsw_system(blocks=4, use_irq=False,
+                                   poll_interval=ns(300))
+        system.ctx.run(us(100_000))
+        assert system.outputs() == reference_output(4)
+        assert system.link.driver.pio_reads > 4  # polled status
+
+    def test_irq_count_matches_replies(self):
+        system = build_hwsw_system(blocks=5, use_irq=True)
+        system.ctx.run(us(100_000))
+        assert system.irq_controller is not None
+        assert system.irq_controller.irq_count == 5
+
+
+class TestGoldenModel:
+    def test_transform_linearity(self):
+        a = generate_block(1)
+        b = generate_block(2)
+        summed = [x + y for x, y in zip(a, b)]
+        lhs = walsh_hadamard(summed)
+        rhs = [x + y for x, y in
+               zip(walsh_hadamard(a), walsh_hadamard(b))]
+        assert lhs == rhs
+
+    def test_transform_energy_scaling(self):
+        """WHT of a constant block concentrates into the DC bin."""
+        block = [3] * 16
+        out = walsh_hadamard(block)
+        assert out[0] == 3 * 16
+        assert all(v == 0 for v in out[1:])
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=16, max_size=16))
+    @settings(max_examples=50)
+    def test_transform_involution_up_to_scale(self, block):
+        """WHT applied twice scales by 16 (self-inverse transform)."""
+        twice = walsh_hadamard(walsh_hadamard(block))
+        assert twice == [16 * v for v in block]
+
+    def test_quantize_rounds_toward_zero(self):
+        assert quantize([15, -15, 7, -7] + [0] * 12, step=8)[:4] == [
+            1, -1, 0, 0
+        ]
+
+
+@given(blocks=st.integers(1, 5))
+@settings(max_examples=8, deadline=None)
+def test_pv_and_ccatb_equivalent_for_any_length(blocks):
+    """Property: PV and CCATB agree for every workload length."""
+    pv = build_pv(blocks)
+    pv.ctx.run()
+    ccatb = build_ccatb(blocks)
+    ccatb.ctx.run()
+    assert pv.outputs() == ccatb.outputs() == reference_output(blocks)

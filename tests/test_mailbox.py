@@ -1,0 +1,168 @@
+"""Unit tests for the memory-mapped mailbox protocol block."""
+
+import pytest
+
+from repro.kernel import SimulationError, ns
+from repro.models import (
+    CTRL_MORE,
+    CTRL_REQUEST,
+    CTRL_VALID,
+    MailboxLayout,
+    MailboxSlave,
+    bytes_to_words,
+    chunk_message,
+    words_to_bytes,
+)
+from repro.ocp import OcpCmd, OcpRequest, OcpResp
+
+
+class TestLayout:
+    def test_register_offsets(self):
+        layout = MailboxLayout(capacity_words=4)
+        assert layout.ctrl_in == 0x0
+        assert layout.len_in == 0x4
+        assert layout.data_in == 0x8
+        assert layout.ctrl_out == 0x18
+        assert layout.len_out == 0x1C
+        assert layout.data_out == 0x20
+        assert layout.total_bytes == (4 + 8) * 4
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MailboxLayout(0)
+
+
+class TestWordPacking:
+    def test_round_trip_exact_multiple(self):
+        data = bytes(range(8))
+        assert words_to_bytes(bytes_to_words(data), 8) == data
+
+    def test_round_trip_with_padding(self):
+        data = b"\x01\x02\x03\x04\x05"
+        words = bytes_to_words(data)
+        assert len(words) == 2
+        assert words_to_bytes(words, 5) == data
+
+    def test_empty(self):
+        assert bytes_to_words(b"") == []
+        assert words_to_bytes([], 0) == b""
+
+
+class TestChunking:
+    def test_small_message_single_chunk(self):
+        layout = MailboxLayout(capacity_words=8)
+        chunks = chunk_message(b"abc", layout, is_request=False)
+        assert len(chunks) == 1
+        assert chunks[0] == (b"abc", CTRL_VALID)
+
+    def test_request_flag_on_final_chunk(self):
+        layout = MailboxLayout(capacity_words=2)  # 8-byte chunks
+        chunks = chunk_message(b"x" * 20, layout, is_request=True)
+        assert len(chunks) == 3
+        assert chunks[0][1] == CTRL_VALID | CTRL_MORE
+        assert chunks[1][1] == CTRL_VALID | CTRL_MORE
+        assert chunks[2][1] == CTRL_VALID | CTRL_REQUEST
+        assert b"".join(c for c, _ in chunks) == b"x" * 20
+
+    def test_empty_message_still_one_chunk(self):
+        layout = MailboxLayout()
+        chunks = chunk_message(b"", layout, is_request=False)
+        assert chunks == [(b"", CTRL_VALID)]
+
+
+class TestMailboxSlave:
+    def _write(self, mbox, offset, words):
+        return mbox.access(
+            OcpRequest(OcpCmd.WR, offset, data=list(words),
+                       burst_length=len(words))
+        )
+
+    def _read(self, mbox, offset, count=1):
+        return mbox.access(
+            OcpRequest(OcpCmd.RD, offset, burst_length=count)
+        )
+
+    def test_bus_write_then_owner_take(self, ctx, top):
+        mbox = MailboxSlave("mb", top, capacity_words=4)
+        layout = mbox.layout
+        payload = bytes_to_words(b"hello!!!")
+        assert self._write(mbox, layout.len_in, [8] + payload).ok
+        assert self._write(mbox, layout.ctrl_in, [CTRL_VALID]).ok
+        data, ctrl = mbox.take_in_chunk()
+        assert data == b"hello!!!"
+        assert ctrl == CTRL_VALID
+        assert mbox.in_ctrl == 0  # cleared for next chunk
+
+    def test_doorbell_event_fires_on_ctrl_write(self, ctx, top):
+        mbox = MailboxSlave("mb", top, capacity_words=4)
+        log = []
+
+        def waiter():
+            yield mbox.doorbell_in
+            log.append(str(ctx.now))
+
+        def writer():
+            yield ns(5)
+            self._write(mbox, mbox.layout.ctrl_in, [CTRL_VALID])
+
+        ctx.register_thread(waiter, "w")
+        ctx.register_thread(writer, "d")
+        ctx.run()
+        assert log == ["5 ns"]
+
+    def test_irq_follows_ctrl_out(self, ctx, top):
+        mbox = MailboxSlave("mb", top, capacity_words=4, with_irq=True)
+        levels = []
+
+        def body():
+            mbox.put_out_chunk(b"hi", CTRL_VALID)
+            yield mbox.irq.posedge_event
+            levels.append(mbox.irq.read())
+            # bus master consumes the reply
+            self._write(mbox, mbox.layout.ctrl_out, [0])
+            yield mbox.irq.negedge_event
+            levels.append(mbox.irq.read())
+
+        ctx.register_thread(body, "t")
+        ctx.run()
+        assert levels == [True, False]
+
+    def test_out_chunk_requires_clear_ctrl(self, ctx, top):
+        mbox = MailboxSlave("mb", top, capacity_words=4)
+        mbox.put_out_chunk(b"a", CTRL_VALID)
+        with pytest.raises(SimulationError, match="unconsumed"):
+            mbox.put_out_chunk(b"b", CTRL_VALID)
+
+    def test_oversized_chunk_rejected(self, ctx, top):
+        mbox = MailboxSlave("mb", top, capacity_words=1)
+        with pytest.raises(SimulationError, match="exceeds capacity"):
+            mbox.put_out_chunk(b"12345", CTRL_VALID)
+
+    def test_take_without_valid_rejected(self, ctx, top):
+        mbox = MailboxSlave("mb", top)
+        with pytest.raises(SimulationError, match="no valid"):
+            mbox.take_in_chunk()
+
+    def test_out_of_range_bus_access_error(self, ctx, top):
+        mbox = MailboxSlave("mb", top, capacity_words=2)
+        resp = self._read(mbox, mbox.layout.total_bytes, 1)
+        assert resp.resp is OcpResp.ERR
+
+    def test_unaligned_access_rejected(self, ctx, top):
+        mbox = MailboxSlave("mb", top)
+        with pytest.raises(SimulationError, match="unaligned"):
+            mbox.access(OcpRequest(OcpCmd.RD, 2, burst_length=1))
+
+    def test_access_counters(self, ctx, top):
+        mbox = MailboxSlave("mb", top)
+        self._write(mbox, mbox.layout.len_in, [4])
+        self._read(mbox, mbox.layout.ctrl_in)
+        assert mbox.bus_writes == 1
+        assert mbox.bus_reads == 1
+
+    def test_wait_states_config(self, ctx, top):
+        mbox = MailboxSlave("mb", top, read_wait=2, write_wait=1)
+        assert mbox.wait_states(
+            OcpRequest(OcpCmd.RD, 0, burst_length=1)) == 2
+        assert mbox.wait_states(
+            OcpRequest(OcpCmd.WR, 0, data=[0], burst_length=1)) == 1

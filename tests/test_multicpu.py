@@ -1,0 +1,130 @@
+"""Integration tests: multiple RTOS instances (multi-CPU partitions).
+
+The eSW methodology generalizes to several processors: each CPU gets
+its own :class:`Rtos`, and PEs assigned to different CPUs keep talking
+SHIP.  These tests check the properties that make multi-CPU partitions
+meaningful: per-CPU serialization with cross-CPU parallelism, and
+generation of one pipeline across two CPUs.
+"""
+
+
+from repro.kernel import Module, ns, us
+from repro.apps import reference_output
+from repro.apps.pipeline import SinkPE, SourcePE, TransformPE
+from repro.esw import (
+    PartitionSpec,
+    SwChannelPort,
+    generate_esw,
+)
+from repro.rtos import Rtos
+from repro.ship import ShipChannel, ShipInt
+
+
+class TestTwoCpus:
+    def test_cpus_compute_in_parallel(self, ctx, top):
+        """Two 5-us jobs on two CPUs finish together; on one CPU they
+        serialize."""
+        cpu0 = Rtos("cpu0", top)
+        cpu1 = Rtos("cpu1", top)
+        done = {}
+
+        def job(os, tag):
+            def body():
+                yield from os.execute(us(5))
+                done[tag] = ctx.now
+            return body
+
+        cpu0.create_task(job(cpu0, "a"), "a", priority=5)
+        cpu1.create_task(job(cpu1, "b"), "b", priority=5)
+        ctx.run(us(1000))
+        assert done["a"] == us(5)
+        assert done["b"] == us(5)
+
+    def test_cross_cpu_ship_channel(self, ctx, top):
+        cpu0 = Rtos("cpu0", top)
+        cpu1 = Rtos("cpu1", top)
+        chan = ShipChannel("chan", top)
+        port0 = SwChannelPort(cpu0, chan)
+        port1 = SwChannelPort(cpu1, chan)
+        got = []
+
+        def client():
+            for i in range(3):
+                reply = yield from port0.request(ShipInt(i))
+                got.append(reply.value)
+
+        def server():
+            while True:
+                req = yield from port1.recv()
+                yield from cpu1.execute(us(1))
+                yield from port1.reply(ShipInt(req.value * 3))
+
+        cpu0.create_task(client, "client", priority=5)
+        cpu1.create_task(server, "server", priority=5)
+        ctx.run(us(1000))
+        assert got == [0, 3, 6]
+
+    def test_pipeline_split_across_two_cpus(self, ctx, top):
+        """source+sink on cpu0, transform on cpu1: outputs unchanged,
+        and each CPU only accounts for its own tasks' time."""
+        blocks = 5
+        c1 = ShipChannel("c1", top)
+        c2 = ShipChannel("c2", top)
+        source = SourcePE("source", top, c1, blocks)
+        transform = TransformPE("transform", top, c1, c2, blocks)
+        sink = SinkPE("sink", top, c2, blocks)
+
+        cpu0 = Rtos("cpu0", top)
+        cpu1 = Rtos("cpu1", top)
+        image0 = generate_esw(
+            PartitionSpec(software=[source, sink]), cpu0
+        )
+        image1 = generate_esw(
+            PartitionSpec(software=[transform]), cpu1
+        )
+        ctx.run(us(100_000))
+        assert sink.results == reference_output(blocks)
+        assert len(image0.tasks) == 2
+        assert len(image1.tasks) == 1
+        # transform's 500ns x 5 blocks landed on cpu1 only
+        transform_task = image1.tasks[0].task
+        assert transform_task.cpu_time == ns(500) * blocks
+        source_sink_time = sum(
+            (t.task.cpu_time for t in image0.tasks),
+            start=ns(0),
+        )
+        assert source_sink_time == ns(200) * blocks + ns(100) * blocks
+
+    def test_two_cpu_split_faster_than_single_cpu(self, ctx, top):
+        """The parallelism argument for partitioning: a two-CPU split
+        completes the pipeline sooner than everything on one CPU."""
+        blocks = 8
+
+        def build(two_cpus):
+            from repro.kernel import SimContext
+
+            ctx2 = SimContext()
+            top2 = Module("top", ctx=ctx2)
+            c1 = ShipChannel("c1", top2)
+            c2 = ShipChannel("c2", top2)
+            source = SourcePE("source", top2, c1, blocks)
+            transform = TransformPE("transform", top2, c1, c2, blocks)
+            sink = SinkPE("sink", top2, c2, blocks)
+            cpu0 = Rtos("cpu0", top2)
+            if two_cpus:
+                cpu1 = Rtos("cpu1", top2)
+                generate_esw(PartitionSpec(software=[source, sink]),
+                             cpu0)
+                generate_esw(PartitionSpec(software=[transform]), cpu1)
+            else:
+                generate_esw(
+                    PartitionSpec(software=[source, transform, sink]),
+                    cpu0,
+                )
+            ctx2.run(us(100_000))
+            assert sink.results == reference_output(blocks)
+            return ctx2.last_activity_time
+
+        single = build(False)
+        dual = build(True)
+        assert dual < single

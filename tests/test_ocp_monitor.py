@@ -1,0 +1,188 @@
+"""Unit tests for the pin-level OCP protocol monitor."""
+
+import pytest
+
+from repro.kernel import Clock, ns, us
+from repro.ocp import (
+    OcpCmd,
+    OcpPinBundle,
+    OcpPinMaster,
+    OcpPinMonitor,
+    OcpPinSlave,
+    OcpRequest,
+    OcpResp,
+    OcpResponse,
+)
+
+
+class Memory:
+    def __init__(self):
+        self.words = {}
+
+    def transport(self, req):
+        if False:
+            yield
+        if req.cmd.is_write:
+            for i in range(req.burst_length):
+                self.words[req.beat_address(i)] = req.data[i]
+            return OcpResponse.write_ok()
+        return OcpResponse.read_ok(
+            [self.words.get(req.beat_address(i), 0)
+             for i in range(req.burst_length)]
+        )
+
+
+class TestCleanTraffic:
+    def _run_traffic(self, ctx, top, accept_latency=0):
+        clk = Clock("clk", top, period=ns(10))
+        bundle = OcpPinBundle("ocp", top, clock=clk)
+        monitor = OcpPinMonitor("mon", top, bundle=bundle)
+        OcpPinSlave("slave", top, bundle=bundle, target=Memory(),
+                    accept_latency=accept_latency)
+        master = OcpPinMaster("master", top, bundle=bundle)
+
+        def body():
+            yield from master.transport(
+                OcpRequest(OcpCmd.WR, 0, data=[1, 2, 3, 4],
+                           burst_length=4)
+            )
+            yield from master.transport(
+                OcpRequest(OcpCmd.RD, 0, burst_length=4)
+            )
+            ctx.stop()
+
+        ctx.register_thread(body, "t")
+        ctx.run(us(100))
+        return monitor
+
+    def test_compliant_traffic_reports_clean(self, ctx, top):
+        monitor = self._run_traffic(ctx, top)
+        assert monitor.clean, [str(v) for v in monitor.violations]
+
+    def test_statistics_counted(self, ctx, top):
+        monitor = self._run_traffic(ctx, top)
+        report = monitor.report()
+        assert report["bursts"] == 2
+        assert report["request_beats"] == 8
+        assert report["write_beats"] == 4
+        assert report["read_beats"] == 4
+        assert report["response_beats"] == 4
+        assert report["violations"] == 0
+        assert report["cycles"] > 0
+
+    def test_stalls_counted_with_slow_slave(self, ctx, top):
+        monitor = self._run_traffic(ctx, top, accept_latency=3)
+        assert monitor.stall_cycles > 0
+        assert monitor.clean
+
+
+class TestViolations:
+    def _armed_monitor(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10))
+        bundle = OcpPinBundle("ocp", top, clock=clk)
+        monitor = OcpPinMonitor("mon", top, bundle=bundle)
+        return clk, bundle, monitor
+
+    def test_cmd_change_while_unaccepted_flagged(self, ctx, top):
+        clk, bundle, monitor = self._armed_monitor(ctx, top)
+
+        def rogue_master():
+            bundle.m_cmd.write(OcpCmd.WR.value)
+            bundle.m_addr.write(0x10)
+            bundle.m_data.write(1)
+            bundle.m_burst_length.write(1)
+            yield ns(25)  # two edges with SCmdAccept low
+            bundle.m_cmd.write(OcpCmd.RD.value)  # illegal change
+            yield ns(20)
+            ctx.stop()
+
+        ctx.register_thread(rogue_master, "rm")
+        ctx.run(us(10))
+        assert any(v.rule == "cmd-hold" for v in monitor.violations)
+
+    def test_addr_change_while_unaccepted_flagged(self, ctx, top):
+        clk, bundle, monitor = self._armed_monitor(ctx, top)
+
+        def rogue_master():
+            bundle.m_cmd.write(OcpCmd.WR.value)
+            bundle.m_addr.write(0x10)
+            bundle.m_data.write(1)
+            bundle.m_burst_length.write(1)
+            yield ns(25)
+            bundle.m_addr.write(0x20)  # illegal address wobble
+            yield ns(20)
+            ctx.stop()
+
+        ctx.register_thread(rogue_master, "rm")
+        ctx.run(us(10))
+        assert any(v.rule == "addr-hold" for v in monitor.violations)
+
+    def test_response_without_request_flagged(self, ctx, top):
+        clk, bundle, monitor = self._armed_monitor(ctx, top)
+
+        def rogue_slave():
+            yield ns(15)
+            bundle.s_resp.write(OcpResp.DVA.value)  # unsolicited
+            bundle.s_data.write(99)
+            yield ns(20)
+            bundle.idle_response()
+            ctx.stop()
+
+        ctx.register_thread(rogue_slave, "rs")
+        ctx.run(us(10))
+        assert any(
+            v.rule == "resp-without-request" for v in monitor.violations
+        )
+
+    def test_violation_string_rendering(self, ctx, top):
+        from repro.ocp.monitor import OcpViolation
+
+        v = OcpViolation("cmd-hold", "20 ns", "MCmd changed")
+        assert "cmd-hold" in str(v)
+        assert "20 ns" in str(v)
+
+    def test_monitor_requires_bundle(self, ctx, top):
+        with pytest.raises(ValueError):
+            OcpPinMonitor("mon", top)
+
+
+class TestDataHoldRule:
+    def test_data_change_while_unaccepted_flagged(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10))
+        bundle = OcpPinBundle("ocp", top, clock=clk)
+        monitor = OcpPinMonitor("mon", top, bundle=bundle)
+
+        def rogue_master():
+            bundle.m_cmd.write(OcpCmd.WR.value)
+            bundle.m_addr.write(0x10)
+            bundle.m_data.write(1)
+            bundle.m_burst_length.write(1)
+            yield ns(25)  # held unaccepted over two edges
+            bundle.m_data.write(2)  # illegal write-data wobble
+            yield ns(20)
+            ctx.stop()
+
+        ctx.register_thread(rogue_master, "rm")
+        ctx.run(us(10))
+        assert any(v.rule == "data-hold" for v in monitor.violations)
+
+    def test_read_data_wobble_is_legal(self, ctx, top):
+        """MData is don't-care for reads: no data-hold flag."""
+        clk = Clock("clk", top, period=ns(10))
+        bundle = OcpPinBundle("ocp", top, clock=clk)
+        monitor = OcpPinMonitor("mon", top, bundle=bundle)
+
+        def master():
+            bundle.m_cmd.write(OcpCmd.RD.value)
+            bundle.m_addr.write(0x10)
+            bundle.m_burst_length.write(1)
+            yield ns(25)
+            bundle.m_data.write(99)  # irrelevant for a read
+            yield ns(20)
+            ctx.stop()
+
+        ctx.register_thread(master, "m")
+        ctx.run(us(10))
+        assert not any(
+            v.rule == "data-hold" for v in monitor.violations
+        )

@@ -1,0 +1,319 @@
+"""Unit tests for the RTL substrate: primitives, bus core, accessors."""
+
+import pytest
+
+from repro.kernel import Clock, Signal, ns, us
+from repro.cam import BusTiming, MemorySlave
+from repro.ocp import OcpCmd, OcpPinBundle, OcpPinMaster, OcpRequest, OcpResp
+from repro.rtl import Counter, Reg, RtlBusCore, ShiftRegister
+from repro.accessors import SlaveMapEntry, build_prototype
+
+
+def wr(addr, n=1, data=None):
+    return OcpRequest(OcpCmd.WR, addr,
+                      data=data or [1] * n, burst_length=n)
+
+
+def rd(addr, n=1):
+    return OcpRequest(OcpCmd.RD, addr, burst_length=n)
+
+
+class TestPrimitives:
+    def test_reg_latches_on_edge(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10))
+        d = Signal("d", top, init=0, check_writer=False)
+        q = Signal("q", top, init=0, check_writer=False)
+        Reg("r", top, clock=clk, d=d, q=q)
+        samples = []
+
+        def driver():
+            d.write(5)
+            yield ns(15)  # edge at 10 latched d=5
+            samples.append(q.read())
+            d.write(9)
+            yield ns(10)  # edge at 20 latches 9
+            samples.append(q.read())
+            ctx.stop()
+
+        ctx.register_thread(driver, "drv")
+        ctx.run(us(1))
+        assert samples == [5, 9]
+
+    def test_reg_enable_and_reset(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10))
+        d = Signal("d", top, init=3, check_writer=False)
+        q = Signal("q", top, init=0, check_writer=False)
+        en = Signal("en", top, init=False, check_writer=False)
+        rst = Signal("rst", top, init=False, check_writer=False)
+        Reg("r", top, clock=clk, d=d, q=q, en=en, reset=rst,
+            reset_value=77)
+        samples = []
+
+        def driver():
+            yield ns(15)
+            samples.append(("disabled", q.read()))
+            en.write(True)
+            yield ns(10)
+            samples.append(("enabled", q.read()))
+            rst.write(True)
+            yield ns(10)
+            samples.append(("reset", q.read()))
+            ctx.stop()
+
+        ctx.register_thread(driver, "drv")
+        ctx.run(us(1))
+        assert samples == [("disabled", 0), ("enabled", 3), ("reset", 77)]
+
+    def test_counter_counts_and_clears(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10))
+        clear = Signal("clr", top, init=False, check_writer=False)
+        counter = Counter("cnt", top, clock=clk, width=4, clear=clear)
+        samples = []
+
+        def driver():
+            yield ns(45)  # edges at 0,10,20,30,40 counted
+            samples.append(counter.count.read())
+            clear.write(True)
+            yield ns(10)
+            samples.append(counter.count.read())
+            ctx.stop()
+
+        ctx.register_thread(driver, "drv")
+        ctx.run(us(1))
+        assert samples == [5, 0]
+
+    def test_counter_wraps_at_width(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10))
+        counter = Counter("cnt", top, clock=clk, width=2)
+
+        def stopper():
+            yield ns(65)  # 7 edges (0..60) counted, width 2 wraps at 4
+            ctx.stop()
+
+        ctx.register_thread(stopper, "s")
+        ctx.run(us(1))
+        assert counter.count.read() == 7 % 4
+
+    def test_shift_register(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10))
+        d = Signal("d", top, init=False, check_writer=False)
+        sr = ShiftRegister("sr", top, clock=clk, depth=4, d=d)
+
+        def driver():
+            d.write(True)
+            yield ns(25)  # edges at 0, 10, 20 shift in 1, 1, 1
+            d.write(False)
+            yield ns(10)  # edge at 30 shifts in 0
+            ctx.stop()
+
+        ctx.register_thread(driver, "drv")
+        ctx.run(us(1))
+        assert sr.q.read() == 0b1110
+
+
+class TestRtlBusCore:
+    def _core(self, ctx, top, pipelined=True, split_rw=True):
+        clk = Clock("clk", top, period=ns(10))
+        core = RtlBusCore(
+            "core", top, clock=clk,
+            timing=BusTiming(arb_cycles=1, addr_cycles=1,
+                             cycles_per_beat=1, pipelined=pipelined,
+                             split_rw=split_rw),
+        )
+        mem = MemorySlave("mem", top, size=4096, read_wait=1,
+                          write_wait=1)
+        core.attach_slave(mem, 0, 4096)
+        return clk, core, mem
+
+    def test_single_write_functional(self, ctx, top):
+        clk, core, mem = self._core(ctx, top)
+        port = core.master_port("m0")
+        results = []
+
+        def body():
+            resp = yield from port.transport(wr(0x10, 2, data=[3, 4]))
+            results.append(resp.resp)
+            ctx.stop()
+
+        ctx.register_thread(body, "t")
+        ctx.run(us(100))
+        assert results == [OcpResp.DVA]
+        assert mem.peek_word(0x10) == 3 and mem.peek_word(0x14) == 4
+
+    def test_cycle_count_matches_ccatb_formula(self, ctx, top):
+        """RTL bus transaction duration tracks arb+addr+wait+beats."""
+        clk, core, mem = self._core(ctx, top)
+        port = core.master_port("m0")
+        timeline = {}
+
+        def body():
+            timeline["start"] = ctx.now
+            yield from port.transport(rd(0, 8))
+            timeline["end"] = ctx.now
+            ctx.stop()
+
+        ctx.register_thread(body, "t")
+        ctx.run(us(100))
+        cycles = (timeline["end"] - timeline["start"]) // ns(10)
+        # CCATB predicts 2 + 1 + 8 = 11 cycles; allow +-2 cycles of
+        # request/latch synchronization skew
+        assert 11 <= cycles <= 13
+
+    def test_decode_error(self, ctx, top):
+        clk, core, mem = self._core(ctx, top)
+        port = core.master_port("m0")
+        results = []
+
+        def body():
+            resp = yield from port.transport(rd(0x100000))
+            results.append(resp.resp)
+            ctx.stop()
+
+        ctx.register_thread(body, "t")
+        ctx.run(us(100))
+        assert results == [OcpResp.ERR]
+
+    def test_double_submit_rejected(self, ctx, top):
+        from repro.kernel import SimulationError
+
+        clk, core, mem = self._core(ctx, top)
+        port = core.master_port("m0")
+        port.submit(rd(0))
+        with pytest.raises(SimulationError, match="already pending"):
+            port.submit(rd(4))
+
+    def test_priority_arbitration(self, ctx, top):
+        clk, core, mem = self._core(ctx, top)
+        hi = core.master_port("hi", priority=0)
+        lo = core.master_port("lo", priority=5)
+        order = []
+
+        def make(port, tag):
+            def body():
+                yield from port.transport(wr(0, 4))
+                order.append(tag)
+            return body
+
+        ctx.register_thread(make(lo, "lo"), "lo")
+        ctx.register_thread(make(hi, "hi"), "hi")
+
+        def stopper():
+            yield us(2)
+            ctx.stop()
+
+        ctx.register_thread(stopper, "s")
+        ctx.run(us(10))
+        assert order[0] == "hi"
+
+    def test_cycles_counted(self, ctx, top):
+        clk, core, mem = self._core(ctx, top)
+        port = core.master_port("m0")
+
+        def body():
+            yield from port.transport(wr(0, 1))
+            ctx.stop()
+
+        ctx.register_thread(body, "t")
+        ctx.run(us(100))
+        assert core.cycles > 0
+        assert core.transactions_completed == 1
+        assert 0.0 <= core.utilization() <= 1.0
+
+    def test_requires_functional_slaves(self, ctx, top):
+        from repro.kernel import ElaborationError
+
+        clk = Clock("clk", top, period=ns(10))
+        core = RtlBusCore("core", top, clock=clk)
+        with pytest.raises(ElaborationError, match="functional"):
+            core.attach_slave(object(), 0, 64)
+
+
+class TestPrototype:
+    def test_full_prototype_write_read(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10))
+        mem = MemorySlave("mem", top, size=4096, read_wait=1,
+                          write_wait=1)
+        bundle = OcpPinBundle("pe_pins", top, clock=clk)
+        proto = build_prototype(
+            "proto", top, clk, {"pe": bundle},
+            [SlaveMapEntry(mem, 0, 4096)], fabric="plb",
+        )
+        master = OcpPinMaster("pe_drv", top, bundle=bundle)
+        results = []
+
+        def body():
+            yield from master.transport(wr(0x40, 2, data=[8, 9]))
+            resp = yield from master.transport(rd(0x40, 2))
+            results.append(resp.data)
+            ctx.stop()
+
+        ctx.register_thread(body, "t")
+        ctx.run(us(100))
+        assert results == [[8, 9]]
+        assert proto.accessor_for("pe").bursts >= 1
+        assert proto.core.transactions_completed == 2
+
+    def test_two_pes_share_fabric(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10))
+        mem = MemorySlave("mem", top, size=8192, read_wait=0,
+                          write_wait=0)
+        bundles = {
+            "pe0": OcpPinBundle("p0", top, clock=clk),
+            "pe1": OcpPinBundle("p1", top, clock=clk),
+        }
+        proto = build_prototype(
+            "proto", top, clk, bundles,
+            [SlaveMapEntry(mem, 0, 8192)], fabric="plb",
+            priorities={"pe0": 0, "pe1": 1},
+        )
+        m0 = OcpPinMaster("d0", top, bundle=bundles["pe0"])
+        m1 = OcpPinMaster("d1", top, bundle=bundles["pe1"])
+        done = []
+
+        def make(master, base, tag):
+            def body():
+                yield from master.transport(wr(base, 4, data=[tag] * 4))
+                done.append(tag)
+            return body
+
+        def drain():
+            # Writes are posted: wait for the fabric to commit both
+            # before stopping the simulation.
+            while proto.core.transactions_completed < 2:
+                yield clk.posedge_event
+            ctx.stop()
+
+        ctx.register_thread(make(m0, 0x0, 1), "b0")
+        ctx.register_thread(make(m1, 0x1000, 2), "b1")
+        ctx.register_thread(drain, "drain")
+        ctx.run(us(100))
+        assert sorted(done) == [1, 2]
+        assert mem.peek_word(0x0) == 1
+        assert mem.peek_word(0x1000) == 2
+
+    def test_unknown_fabric_rejected(self, ctx, top):
+        clk = Clock("clk", top, period=ns(10))
+        with pytest.raises(ValueError, match="unknown fabric"):
+            build_prototype("p", top, clk, {}, [], fabric="hyperbus")
+
+    def test_opb_fabric_variant(self, ctx, top):
+        clk = Clock("clk", top, period=ns(20))
+        mem = MemorySlave("mem", top, size=4096, read_wait=0,
+                          write_wait=0)
+        bundle = OcpPinBundle("pins", top, clock=clk)
+        proto = build_prototype(
+            "proto", top, clk, {"pe": bundle},
+            [SlaveMapEntry(mem, 0, 4096)], fabric="opb",
+        )
+        master = OcpPinMaster("drv", top, bundle=bundle)
+        results = []
+
+        def body():
+            resp = yield from master.transport(wr(0, 1, data=[5]))
+            results.append(resp.resp)
+            ctx.stop()
+
+        ctx.register_thread(body, "t")
+        ctx.run(us(100))
+        assert results == [OcpResp.DVA]
+        assert not proto.core.timing.pipelined

@@ -1,0 +1,154 @@
+"""Unit tests for streaming statistics."""
+
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel import ns, us
+from repro.trace import (
+    Histogram,
+    OnlineStats,
+    ThroughputMeter,
+    TimeStats,
+    geometric_mean,
+)
+
+
+class TestOnlineStats:
+    def test_empty_stats_are_zero(self):
+        s = OnlineStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+        assert s.minimum is None and s.maximum is None
+
+    def test_basic_moments(self):
+        s = OnlineStats()
+        for v in (2.0, 4.0, 6.0):
+            s.add(v)
+        assert s.mean == pytest.approx(4.0)
+        assert s.variance == pytest.approx(8.0 / 3.0)
+        assert s.minimum == 2.0 and s.maximum == 6.0
+        assert s.total == 12.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    def test_matches_numpy(self, values):
+        s = OnlineStats()
+        for v in values:
+            s.add(v)
+        assert s.mean == pytest.approx(np.mean(values), rel=1e-6, abs=1e-6)
+        assert s.variance == pytest.approx(
+            np.var(values), rel=1e-6, abs=1e-5
+        )
+        assert s.minimum == min(values)
+        assert s.maximum == max(values)
+
+    @given(
+        st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=50),
+        st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=50),
+    )
+    def test_merge_equals_combined_stream(self, left, right):
+        a, b, c = OnlineStats(), OnlineStats(), OnlineStats()
+        for v in left:
+            a.add(v)
+            c.add(v)
+        for v in right:
+            b.add(v)
+            c.add(v)
+        merged = a.merge(b)
+        assert merged.count == c.count
+        assert merged.mean == pytest.approx(c.mean, rel=1e-6, abs=1e-6)
+        assert merged.variance == pytest.approx(
+            c.variance, rel=1e-5, abs=1e-4
+        )
+        assert merged.minimum == c.minimum
+        assert merged.maximum == c.maximum
+
+    def test_merge_with_empty(self):
+        a = OnlineStats()
+        b = OnlineStats()
+        b.add(5.0)
+        merged = a.merge(b)
+        assert merged.count == 1
+        assert merged.mean == 5.0
+
+
+class TestTimeStats:
+    def test_durations_tracked_in_ns(self):
+        t = TimeStats()
+        t.add(ns(10))
+        t.add(us(1))
+        assert t.count == 2
+        assert t.mean_ns == pytest.approx(505.0)
+        assert t.min_ns == 10.0
+        assert t.max_ns == 1000.0
+        assert t.total_ns == pytest.approx(1010.0)
+
+
+class TestHistogram:
+    def test_binning_and_flows(self):
+        h = Histogram(0.0, 10.0, bins=10)
+        for v in (0.5, 1.5, 1.6, 9.9, -1.0, 10.0, 50.0):
+            h.add(v)
+        assert h.counts[0] == 1
+        assert h.counts[1] == 2
+        assert h.counts[9] == 1
+        assert h.underflow == 1
+        assert h.overflow == 2
+        assert h.total == 7
+
+    def test_bin_edges(self):
+        h = Histogram(0.0, 4.0, bins=4)
+        assert h.bin_edges()[0] == (0.0, 1.0)
+        assert h.bin_edges()[-1] == (3.0, 4.0)
+
+    def test_quantile_midpoint(self):
+        h = Histogram(0.0, 100.0, bins=100)
+        for v in range(100):
+            h.add(float(v))
+        assert h.quantile(0.5) == pytest.approx(49.5, abs=1.0)
+        assert h.quantile(0.0) <= h.quantile(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(5.0, 1.0)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, bins=0)
+        h = Histogram(0.0, 1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestThroughputMeter:
+    def test_rates_over_simulated_time(self):
+        m = ThroughputMeter()
+        m.record(us(0), 1000)
+        m.record(us(1), 1000)
+        assert m.bytes == 2000
+        assert m.transactions == 2
+        # 2000 bytes in 1 us of simulated time = 2 GB/s
+        assert m.bytes_per_second() == pytest.approx(2e9)
+        assert m.transactions_per_second() == pytest.approx(2e6)
+
+    def test_single_sample_rate_is_zero(self):
+        m = ThroughputMeter()
+        m.record(us(5), 100)
+        assert m.bytes_per_second() == 0.0
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=30))
+    def test_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9

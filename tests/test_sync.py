@@ -1,0 +1,133 @@
+"""Unit tests for mutex and semaphore primitives."""
+
+import pytest
+
+from repro.kernel import Mutex, Semaphore, SimulationError, ns
+
+
+class TestMutex:
+    def test_lock_serializes_critical_sections(self, ctx, top):
+        mtx = Mutex("m", top)
+        trace = []
+
+        def worker(tag, hold):
+            def body():
+                yield from mtx.lock()
+                trace.append((tag, "in", str(ctx.now)))
+                yield hold
+                trace.append((tag, "out", str(ctx.now)))
+                mtx.unlock()
+            return body
+
+        ctx.register_thread(worker("a", ns(10)), "a")
+        ctx.register_thread(worker("b", ns(5)), "b")
+        ctx.run()
+        assert trace == [
+            ("a", "in", "0 s"),
+            ("a", "out", "10 ns"),
+            ("b", "in", "10 ns"),
+            ("b", "out", "15 ns"),
+        ]
+
+    def test_try_lock(self, ctx, top):
+        mtx = Mutex("m", top)
+        results = []
+
+        def body():
+            results.append(mtx.try_lock())
+            results.append(mtx.try_lock())  # second attempt fails
+            mtx.unlock()
+            results.append(mtx.try_lock())
+            mtx.unlock()
+            if False:
+                yield
+
+        ctx.register_thread(body, "t")
+        ctx.run()
+        assert results == [True, False, True]
+
+    def test_unlock_unlocked_rejected(self, ctx, top):
+        mtx = Mutex("m", top)
+        with pytest.raises(SimulationError):
+            mtx.unlock()
+
+    def test_unlock_by_non_owner_rejected(self, ctx, top):
+        mtx = Mutex("m", top)
+
+        def owner():
+            yield from mtx.lock()
+            yield ns(10)
+            mtx.unlock()
+
+        def intruder():
+            yield ns(5)
+            mtx.unlock()
+
+        ctx.register_thread(owner, "o")
+        ctx.register_thread(intruder, "i")
+        with pytest.raises(SimulationError, match="non-owner"):
+            ctx.run()
+
+    def test_locked_property(self, ctx, top):
+        mtx = Mutex("m", top)
+        assert not mtx.locked
+
+        def body():
+            yield from mtx.lock()
+            assert mtx.locked
+            mtx.unlock()
+
+        ctx.register_thread(body, "t")
+        ctx.run()
+        assert not mtx.locked
+
+
+class TestSemaphore:
+    def test_bounded_concurrency(self, ctx, top):
+        sem = Semaphore("s", top, initial=2)
+        active = []
+        high_water = []
+
+        def worker(tag):
+            def body():
+                yield from sem.wait()
+                active.append(tag)
+                high_water.append(len(active))
+                yield ns(10)
+                active.remove(tag)
+                sem.post()
+            return body
+
+        for tag in "abcd":
+            ctx.register_thread(worker(tag), tag)
+        ctx.run()
+        assert max(high_water) == 2
+
+    def test_try_wait(self, ctx, top):
+        sem = Semaphore("s", top, initial=1)
+        assert sem.try_wait()
+        assert not sem.try_wait()
+        sem.post()
+        assert sem.try_wait()
+
+    def test_negative_initial_rejected(self, ctx, top):
+        with pytest.raises(SimulationError):
+            Semaphore("s", top, initial=-1)
+
+    def test_post_wakes_waiter(self, ctx, top):
+        sem = Semaphore("s", top, initial=0)
+        log = []
+
+        def waiter():
+            yield from sem.wait()
+            log.append(str(ctx.now))
+
+        def poster():
+            yield ns(25)
+            sem.post()
+
+        ctx.register_thread(waiter, "w")
+        ctx.register_thread(poster, "p")
+        ctx.run()
+        assert log == ["25 ns"]
+        assert sem.count == 0

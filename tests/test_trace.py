@@ -1,0 +1,220 @@
+"""Unit tests for VCD tracing and transaction recording."""
+
+import io
+
+import pytest
+
+from repro.kernel import Clock, Signal, ns
+from repro.trace import TransactionRecorder, VcdTracer
+
+
+class TestVcdTracer:
+    def _run_traced(self, ctx, top):
+        stream = io.StringIO()
+        tracer = VcdTracer(stream, ctx, timescale="1ps")
+        sig = Signal("data", top, init=0, check_writer=False)
+        flag = Signal("flag", top, init=False, check_writer=False)
+        tracer.trace(sig, "data", width=8)
+        tracer.trace(flag, "flag")
+
+        def driver():
+            yield ns(1)
+            sig.write(0xAB)
+            flag.write(True)
+            yield ns(1)
+            flag.write(False)
+
+        ctx.register_thread(driver, "d")
+        ctx.run()
+        tracer.flush()
+        return stream.getvalue()
+
+    def test_header_declares_vars(self, ctx, top):
+        text = self._run_traced(ctx, top)
+        assert "$timescale 1ps $end" in text
+        assert "$var wire 8" in text
+        assert "$var wire 1" in text
+        assert "$enddefinitions $end" in text
+        assert "$dumpvars" in text
+
+    def test_value_changes_timestamped(self, ctx, top):
+        text = self._run_traced(ctx, top)
+        assert "#1000" in text  # 1 ns in ps ticks
+        assert "#2000" in text
+        assert "b10101011" in text  # 0xAB
+
+    def test_adding_signal_after_start_rejected(self, ctx, top):
+        stream = io.StringIO()
+        tracer = VcdTracer(stream, ctx)
+        sig = Signal("s", top, init=0, check_writer=False)
+        tracer.trace(sig, "s")
+
+        def driver():
+            yield ns(1)
+            sig.write(1)
+
+        ctx.register_thread(driver, "d")
+        ctx.run()
+        other = Signal("o", top, init=0, check_writer=False)
+        with pytest.raises(RuntimeError):
+            tracer.trace(other, "o")
+
+    def test_clock_waveform(self, ctx, top, tmp_path):
+        path = tmp_path / "wave.vcd"
+        tracer = VcdTracer(str(path), ctx)
+        clk = Clock("clk", top, period=ns(10))
+        tracer.trace(clk, "clk")
+        ctx.run(ns(35))
+        tracer.close()
+        text = path.read_text()
+        # 0/10/20/30 rises and 5/15/25 falls -> at least 7 change lines
+        change_lines = [
+            line for line in text.splitlines()
+            if line and line[0] in "01" and not line.startswith("0 ")
+        ]
+        assert len(change_lines) >= 7
+
+    def test_duplicate_trace_is_idempotent(self, ctx, top):
+        stream = io.StringIO()
+        tracer = VcdTracer(stream, ctx)
+        sig = Signal("s", top, init=0, check_writer=False)
+        tracer.trace(sig, "s")
+        tracer.trace(sig, "s")
+        assert len(tracer._vars) == 1
+
+    def test_bad_timescale_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            VcdTracer(io.StringIO(), ctx, timescale="1 fortnight")
+
+
+class TestTransactionRecorder:
+    def test_records_and_latency_stats(self):
+        rec = TransactionRecorder()
+        rec.record("bus", "read", "cpu", "mem", ns(0), ns(40), nbytes=16)
+        rec.record("bus", "read", "cpu", "mem", ns(10), ns(70), nbytes=16)
+        rec.record("bus", "write", "dma", "mem", ns(5), ns(25), nbytes=32)
+        assert rec.count == 3
+        assert rec.total_bytes == 64
+        reads = rec.latency_stats("read")
+        assert reads.count == 2
+        assert reads.mean_ns == pytest.approx(50.0)
+        overall = rec.latency_stats()
+        assert overall.count == 3
+
+    def test_queries(self):
+        rec = TransactionRecorder()
+        rec.record("bus", "read", "cpu", "mem", ns(0), ns(1))
+        rec.record("bus", "write", "cpu", "mem", ns(0), ns(1))
+        rec.record("bus", "read", "dma", "mem", ns(0), ns(1))
+        assert len(rec.by_kind("read")) == 2
+        assert len(rec.by_initiator("dma")) == 1
+
+    def test_listener_notified(self):
+        rec = TransactionRecorder()
+        seen = []
+        rec.subscribe(seen.append)
+        rec.record("c", "read", "a", "b", ns(0), ns(5))
+        assert len(seen) == 1
+        assert seen[0].latency == ns(5)
+
+    def test_keep_records_false_keeps_stats_only(self):
+        rec = TransactionRecorder(keep_records=False)
+        rec.record("c", "read", "a", "b", ns(0), ns(5))
+        assert rec.count == 1
+        assert rec.records == []
+        assert rec.latency_stats("read").count == 1
+
+    def test_csv_export(self, tmp_path):
+        rec = TransactionRecorder()
+        rec.record("c", "read", "a", "b", ns(0), ns(5), nbytes=4, burst=1)
+        path = tmp_path / "txns.csv"
+        rec.to_csv(str(path))
+        text = path.read_text()
+        assert "latency_ns" in text
+        assert "burst" in text
+
+    def test_clear(self):
+        rec = TransactionRecorder()
+        rec.record("c", "read", "a", "b", ns(0), ns(5))
+        rec.clear()
+        assert rec.count == 0
+        assert rec.records == []
+        assert rec.latency_stats("read").count == 0
+
+    def test_record_attributes_preserved(self):
+        rec = TransactionRecorder()
+        r = rec.record("c", "read", "a", "b", ns(0), ns(5), burst=8)
+        row = r.as_row()
+        assert row["burst"] == 8
+        assert row["latency_ns"] == 5.0
+
+
+class TestLatencyHistogram:
+    def test_histogram_from_recorder(self):
+        from repro.trace import latency_histogram
+
+        rec = TransactionRecorder()
+        for i in range(1, 11):
+            rec.record("bus", "read", "cpu", "mem", ns(0), ns(i * 10))
+        hist = latency_histogram(rec, bins=10)
+        assert hist.total == 10
+        assert hist.underflow == 0 and hist.overflow == 0
+        assert hist.quantile(0.5) == pytest.approx(55.0, abs=10.0)
+
+    def test_kind_filter(self):
+        from repro.trace import latency_histogram
+
+        rec = TransactionRecorder()
+        rec.record("bus", "read", "cpu", "mem", ns(0), ns(10))
+        rec.record("bus", "write", "cpu", "mem", ns(0), ns(500))
+        hist = latency_histogram(rec, kind="read")
+        assert hist.total == 1
+
+    def test_empty_recorder_rejected(self):
+        from repro.trace import latency_histogram
+
+        with pytest.raises(ValueError, match="no records"):
+            latency_histogram(TransactionRecorder())
+
+    def test_constant_latency_degenerate_range(self):
+        from repro.trace import latency_histogram
+
+        rec = TransactionRecorder()
+        for _ in range(5):
+            rec.record("bus", "read", "cpu", "mem", ns(0), ns(42))
+        hist = latency_histogram(rec)
+        assert hist.total == 5
+
+
+class TestVcdValueKinds:
+    def test_float_signal_dumped_as_real(self, ctx, top):
+        stream = io.StringIO()
+        tracer = VcdTracer(stream, ctx)
+        temp = Signal("temp", top, init=0.0, check_writer=False)
+        tracer.trace(temp, "temp")
+
+        def driver():
+            yield ns(1)
+            temp.write(36.6)
+
+        ctx.register_thread(driver, "d")
+        ctx.run()
+        tracer.flush()
+        text = stream.getvalue()
+        assert "$var real" in text
+        assert "r36.6" in text
+
+    def test_wide_int_signal_width_inferred(self, ctx, top):
+        stream = io.StringIO()
+        tracer = VcdTracer(stream, ctx)
+        addr = Signal("addr", top, init=0xFFFF, check_writer=False)
+        tracer.trace(addr, "addr")  # width inferred from init value
+
+        def driver():
+            yield ns(1)
+            addr.write(0xABCD)
+
+        ctx.register_thread(driver, "d")
+        ctx.run()
+        tracer.flush()
+        assert "$var wire 16" in stream.getvalue()
