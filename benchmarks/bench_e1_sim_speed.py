@@ -17,6 +17,8 @@ faster than cycle/pin-accurate BCA models; ours is far larger because
 the pin level pays per-cycle Python costs).
 """
 
+import os
+
 import pytest
 
 from repro.kernel import Clock, Module, SimContext, ns, us
@@ -27,7 +29,9 @@ from repro.accessors import RtlAccessor
 
 from _util import print_table
 
-TRANSACTIONS = 60     # per master
+# Per-master transaction count; the ``E1_TRANSACTIONS`` override lets
+# CI smoke runs (and ``run_all.py --quick``) replay a shorter stream.
+TRANSACTIONS = int(os.environ.get("E1_TRANSACTIONS", "60"))
 BURST = 8
 
 

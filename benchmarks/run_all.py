@@ -1,0 +1,343 @@
+"""Benchmark trajectory harness for the simulation kernel.
+
+Runs a fixed set of kernel-throughput workloads plus the E1
+abstraction-level comparison, writes ``BENCH_kernel.json`` at the repo
+root (events/sec, wall time, speedup vs. the recorded baseline in
+``benchmarks/baseline.json``), and **fails loudly** — non-zero exit —
+when any workload regresses more than 10% against that baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # full run
+    PYTHONPATH=src python benchmarks/run_all.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/run_all.py --write-baseline
+
+``--quick`` scales every workload down ~10x so the whole harness runs
+in a couple of seconds; quick numbers are too noisy to gate on, so the
+regression check is skipped (the JSON is still written, flagged
+``"quick": true``).
+
+``--write-baseline`` re-records ``benchmarks/baseline.json`` from the
+current run — do this only on a commit whose numbers you want future
+runs measured against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Make the package and the sibling bench modules importable no matter
+# where the harness is invoked from.
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.kernel import Clock, Event, EventQueue, Module, SimContext, ns
+
+REGRESSION_TOLERANCE = 0.10   # fail when >10% below baseline
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernel.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
+
+
+# ---------------------------------------------------------------------------
+# Kernel-throughput workloads.  Each returns (units, wall_seconds) where
+# ``units`` is the number of scheduler-visible operations performed, so
+# units/wall is an events-per-second figure comparable across kernels.
+# ---------------------------------------------------------------------------
+
+def timed_storm(scale: float):
+    """Pure timed-wait throughput: independent periodic threads."""
+    n_procs, n_waits = 20, max(1, int(2000 * scale))
+    ctx = SimContext()
+
+    def make(i):
+        period = ns(10 + i)
+
+        def body():
+            for _ in range(n_waits):
+                yield period
+        return body
+
+    for i in range(n_procs):
+        ctx.register_thread(make(i), f"p{i}")
+    start = time.perf_counter()
+    ctx.run()
+    return n_procs * n_waits, time.perf_counter() - start
+
+
+def timed_events(scale: float):
+    """notify_after storm: timed event notifications with waiters."""
+    n_events, n_rounds = 30, max(1, int(1500 * scale))
+    ctx = SimContext()
+    events = [Event(ctx, f"e{i}") for i in range(n_events)]
+
+    def make_waiter(ev):
+        def body():
+            while True:
+                yield ev
+        return body
+
+    def driver():
+        for _ in range(n_rounds):
+            for i, ev in enumerate(events):
+                ev.notify_after(ns(1 + i))
+            yield ns(100)
+
+    for i, ev in enumerate(events):
+        ctx.register_thread(make_waiter(ev), f"w{i}")
+    ctx.register_thread(driver, "driver")
+    start = time.perf_counter()
+    ctx.run()
+    return n_events * n_rounds, time.perf_counter() - start
+
+
+def delta_chain(scale: float):
+    """Delta-notification ping-pong: pure evaluate/notify cycling."""
+    n_rounds = max(1, int(30000 * scale))
+    ctx = SimContext(max_deltas_per_timestep=10 ** 9)
+    e1, e2 = Event(ctx, "e1"), Event(ctx, "e2")
+    count = [0]
+
+    def ping():
+        while count[0] < n_rounds:
+            e2.notify_delta()
+            yield e1
+
+    def pong():
+        while True:
+            yield e2
+            count[0] += 1
+            e1.notify_delta()
+
+    ctx.register_thread(ping, "ping")
+    ctx.register_thread(pong, "pong")
+    start = time.perf_counter()
+    ctx.run()
+    return ctx.delta_count, time.perf_counter() - start
+
+
+def clock_tree(scale: float):
+    """A clock fanning out to statically-sensitive methods."""
+    n_methods, cycles = 10, max(1, int(3000 * scale))
+    ctx = SimContext()
+    top = Module("top", ctx=ctx)
+    clk = Clock("clk", top, period=ns(10))
+    hits = [0]
+
+    def m():
+        hits[0] += 1
+
+    for i in range(n_methods):
+        ctx.register_method(m, f"m{i}", sensitive=[clk.posedge_event],
+                            dont_initialize=True)
+    start = time.perf_counter()
+    ctx.run(ns(10 * cycles))
+    return hits[0], time.perf_counter() - start
+
+
+def event_queue_storm(scale: float):
+    """EventQueue multi-notification traffic (one trigger per notify)."""
+    n_queues, n_notifies = 8, max(1, int(1500 * scale))
+    ctx = SimContext()
+    top = Module("top", ctx=ctx)
+    queues = [EventQueue(f"q{i}", top) for i in range(n_queues)]
+    got = [0]
+
+    def make_waiter(q):
+        def body():
+            while True:
+                yield q.event
+                got[0] += 1
+        return body
+
+    def driver():
+        for r in range(n_notifies):
+            for q in queues:
+                q.notify(ns(1 + (r % 7)))
+            yield ns(50)
+
+    for i, q in enumerate(queues):
+        ctx.register_thread(make_waiter(q), f"w{i}")
+    ctx.register_thread(driver, "driver")
+    start = time.perf_counter()
+    ctx.run()
+    return got[0], time.perf_counter() - start
+
+
+KERNEL_WORKLOADS = [
+    ("timed_storm", timed_storm),
+    ("timed_events", timed_events),
+    ("delta_chain", delta_chain),
+    ("clock_tree", clock_tree),
+    ("event_queue_storm", event_queue_storm),
+]
+
+
+def run_kernel_workloads(scale: float, repeats: int) -> dict:
+    results = {}
+    for name, fn in KERNEL_WORKLOADS:
+        best = None
+        for _ in range(repeats):
+            units, wall = fn(scale)
+            rate = units / wall if wall > 0 else float("inf")
+            if best is None or rate > best[0]:
+                best = (rate, units, wall)
+        results[name] = {
+            "units": best[1],
+            "wall_s": round(best[2], 5),
+            "rate_per_s": round(best[0]),
+        }
+    return results
+
+
+def run_e1_levels(repeats: int) -> dict:
+    """Best-of-N wall time for each E1 abstraction level."""
+    import bench_e1_sim_speed as e1
+
+    results = {}
+    for name, runner in e1.LEVELS:
+        best = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            runner()
+            wall = time.perf_counter() - start
+            if best is None or wall < best:
+                best = wall
+        results[name] = {
+            "wall_s": round(best, 5),
+            "transactions": 2 * e1.TRANSACTIONS,
+        }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison
+# ---------------------------------------------------------------------------
+
+def compare(kernel: dict, e1: dict, baseline: dict):
+    """Annotate results with speedups; return the list of regressions."""
+    regressions = []
+    base_rates = baseline.get("kernel_rate_per_s", {})
+    for name, row in kernel.items():
+        base = base_rates.get(name)
+        if not base:
+            continue
+        speedup = row["rate_per_s"] / base
+        row["baseline_rate_per_s"] = base
+        row["speedup"] = round(speedup, 2)
+        if speedup < 1.0 - REGRESSION_TOLERANCE:
+            regressions.append((f"kernel/{name}", speedup))
+    base_walls = baseline.get("e1_wall_s", {})
+    for name, row in e1.items():
+        base = base_walls.get(name)
+        if not base:
+            continue
+        speedup = base / row["wall_s"] if row["wall_s"] > 0 else float("inf")
+        row["baseline_wall_s"] = base
+        row["speedup"] = round(speedup, 2)
+        if speedup < 1.0 - REGRESSION_TOLERANCE:
+            regressions.append((f"e1/{name}", speedup))
+    return regressions
+
+
+def print_report(kernel: dict, e1: dict) -> None:
+    print(f"{'workload':<22}{'units':>9}{'wall':>10}{'rate/s':>12}"
+          f"{'speedup':>9}")
+    print("-" * 62)
+    for name, row in kernel.items():
+        speed = row.get("speedup")
+        print(f"{name:<22}{row['units']:>9}{row['wall_s'] * 1e3:>8.1f}ms"
+              f"{row['rate_per_s']:>12}"
+              f"{('x%.2f' % speed) if speed else '-':>9}")
+    for name, row in e1.items():
+        speed = row.get("speedup")
+        print(f"{'e1/' + name:<22}{row['transactions']:>9}"
+              f"{row['wall_s'] * 1e3:>8.1f}ms{'':>12}"
+              f"{('x%.2f' % speed) if speed else '-':>9}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run all kernel benchmarks and record the trajectory."
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="~10x smaller workloads, no regression gate "
+                             "(CI smoke)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="take the best of N repeats (default 3)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the JSON trajectory record")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="recorded baseline to compare against")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="re-record the baseline from this run")
+    args = parser.parse_args(argv)
+
+    if args.repeat < 1:
+        parser.error(f"--repeat must be >= 1, got {args.repeat}")
+    scale = 0.1 if args.quick else 1.0
+    if args.quick:
+        # Shrink the E1 transaction stream before the bench module loads.
+        os.environ.setdefault("E1_TRANSACTIONS", "10")
+
+    kernel = run_kernel_workloads(scale, args.repeat)
+    e1 = run_e1_levels(args.repeat)
+
+    baseline = {}
+    if args.baseline.exists() and not args.quick:
+        baseline = json.loads(args.baseline.read_text())
+    regressions = compare(kernel, e1, baseline)
+
+    record = {
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "repeat": args.repeat,
+        "regression_tolerance": REGRESSION_TOLERANCE,
+        "kernel": kernel,
+        "e1": e1,
+    }
+    args.output.write_text(json.dumps(record, indent=1) + "\n")
+    print_report(kernel, e1)
+    print(f"\nwrote {args.output}")
+
+    if args.write_baseline:
+        new_baseline = {
+            "recorded": f"python {platform.python_version()}, "
+                        f"{time.strftime('%Y-%m-%d')}",
+            "note": "Update by running `python benchmarks/run_all.py "
+                    "--write-baseline` on the commit you want to measure "
+                    "against.",
+            "kernel_rate_per_s": {
+                name: row["rate_per_s"] for name, row in kernel.items()
+            },
+            "e1_wall_s": {
+                name: row["wall_s"] for name, row in e1.items()
+            },
+        }
+        args.baseline.write_text(json.dumps(new_baseline, indent=2) + "\n")
+        print(f"re-recorded baseline at {args.baseline}")
+        return 0
+
+    if regressions:
+        print("\nREGRESSION: the following workloads are more than "
+              f"{REGRESSION_TOLERANCE:.0%} below the recorded baseline:",
+              file=sys.stderr)
+        for name, speedup in regressions:
+            print(f"  {name}: x{speedup:.2f} of baseline", file=sys.stderr)
+        return 1
+    if baseline:
+        print("no regressions vs. recorded baseline "
+              f"(tolerance {REGRESSION_TOLERANCE:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

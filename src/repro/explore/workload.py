@@ -81,7 +81,11 @@ class TrafficMaster(Module):
             )
         self.socket = socket
         self.spec = spec
-        self.rng = random.Random((seed, spec.name).__hash__())
+        # Seed with a string, not a tuple hash: str/bytes seeding is
+        # stable across interpreter processes, while tuple.__hash__
+        # includes the PYTHONHASHSEED-salted string hash and silently
+        # broke cross-process reproducibility.
+        self.rng = random.Random(f"{seed}:{spec.name}")
         self.latency = TimeStats()
         self.bytes_done = 0
         self.completed = 0

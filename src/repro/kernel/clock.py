@@ -4,6 +4,7 @@ from __future__ import annotations
 
 
 from repro.kernel.errors import SimulationError
+from repro.kernel.process import WaitCondition, WaitMode
 from repro.kernel.signal import Signal
 from repro.kernel.simtime import SimTime, ZERO_TIME
 
@@ -47,25 +48,33 @@ class Clock(Signal):
         self.start_time = start_time
         self.posedge_first = posedge_first
         high_fs = round(period.femtoseconds * duty_cycle)
-        self._high_time = SimTime(high_fs)
-        self._low_time = SimTime(period.femtoseconds - high_fs)
+        self._high_time = SimTime._from_fs(high_fs)
+        self._low_time = SimTime._from_fs(period.femtoseconds - high_fs)
+        # Pre-built wait conditions: the toggle loop re-yields these two
+        # objects forever instead of normalizing a fresh WaitCondition
+        # per half-period (they are immutable once built).
+        self._high_wait = WaitCondition(WaitMode.TIMED, timeout=self._high_time)
+        self._low_wait = WaitCondition(WaitMode.TIMED, timeout=self._low_time)
         self.ctx.register_thread(self._toggle, f"{self.full_name}._toggle")
 
     def _toggle(self):
         if self.start_time > ZERO_TIME:
             yield self.start_time
         # The first edge moves the clock away from its init value.
-        while True:
-            if self.posedge_first:
-                self.write(True)
-                yield self._high_time
-                self.write(False)
-                yield self._low_time
-            else:
-                self.write(False)
-                yield self._low_time
-                self.write(True)
-                yield self._high_time
+        write = self.write
+        high_wait, low_wait = self._high_wait, self._low_wait
+        if self.posedge_first:
+            while True:
+                write(True)
+                yield high_wait
+                write(False)
+                yield low_wait
+        else:
+            while True:
+                write(False)
+                yield low_wait
+                write(True)
+                yield high_wait
 
     def cycles(self, count: int) -> SimTime:
         """Duration of ``count`` clock periods."""

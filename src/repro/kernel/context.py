@@ -30,7 +30,14 @@ from collections import deque
 from typing import Callable, Dict, Generator, List, Optional
 
 from repro.kernel.errors import ElaborationError, SimulationError
-from repro.kernel.event import Event
+from repro.kernel.event import (
+    ENTRY_KIND,
+    ENTRY_WHEN_FS,
+    Event,
+    KIND_CANCELLED,
+    KIND_EVENT,
+    KIND_RESUME,
+)
 from repro.kernel.process import (
     MethodProcess,
     Process,
@@ -44,22 +51,14 @@ from repro.kernel.report import Reporter
 from repro.kernel.simtime import SimTime, ZERO_TIME
 
 
-class _TimedEntry:
-    """One entry in the timed-notification heap."""
-
-    __slots__ = ("when", "seq", "kind", "payload", "cancelled")
-
-    def __init__(self, when: SimTime, seq: int, kind: str, payload):
-        self.when = when
-        self.seq = seq
-        self.kind = kind  # "event" or "resume"
-        self.payload = payload
-        self.cancelled = False
-
-    def __lt__(self, other: "_TimedEntry") -> bool:
-        if self.when != other.when:
-            return self.when < other.when
-        return self.seq < other.seq
+# The timed-notification heap holds plain 4-lists
+# ``[when_fs, seq, kind, payload]`` (layout constants in
+# :mod:`repro.kernel.event`).  Lists compare element-wise with C-level
+# integer comparisons — ``when_fs`` first, then the unique ``seq`` —
+# so heap ordering never dispatches into Python-level ``__lt__``
+# methods and never compares ``kind``/``payload``.  Cancellation is a
+# single in-place write of ``KIND_CANCELLED``; cancelled entries are
+# discarded lazily when they surface at the top of the heap.
 
 
 class SimContext:
@@ -75,6 +74,9 @@ class SimContext:
         self.reporter = reporter if reporter is not None else Reporter()
         self.max_deltas_per_timestep = max_deltas_per_timestep
 
+        #: Canonical current time as integer femtoseconds; ``_now`` is the
+        #: equivalent SimTime, refreshed only when time advances.
+        self._now_fs: int = 0
         self._now: SimTime = ZERO_TIME
         self._last_activity: SimTime = ZERO_TIME
         self._delta_count: int = 0
@@ -85,7 +87,8 @@ class SimContext:
         self._update_queue: List = []
         self._update_set: set = set()
         self._delta_events: List[Event] = []
-        self._timed_heap: List[_TimedEntry] = []
+        #: heap of ``[when_fs, seq, kind, payload]`` lists (see above)
+        self._timed_heap: List[list] = []
 
         #: name -> simulation object (modules, ports, channels...)
         self.objects: Dict[str, object] = {}
@@ -278,15 +281,27 @@ class SimContext:
         """Queue an event for the next delta cycle."""
         self._delta_events.append(event)
 
-    def schedule_timed_event(self, event: Event, when: SimTime) -> _TimedEntry:
-        """Schedule an event notification at ``when``."""
-        entry = _TimedEntry(when, next(self._seq), "event", event)
+    def schedule_timed_event(self, event: Event, when: SimTime) -> list:
+        """Schedule an event notification at absolute time ``when``.
+
+        Returns the heap entry; setting its kind slot to
+        ``KIND_CANCELLED`` cancels the notification.
+        """
+        return self._schedule_event_fs(event, when._fs)
+
+    def schedule_timed_resume(self, process: Process, when: SimTime) -> list:
+        """Schedule a process timeout wake-up at absolute time ``when``."""
+        return self._schedule_resume_fs(process, when._fs)
+
+    def _schedule_event_fs(self, event: Event, when_fs: int) -> list:
+        """Integer-time fast path for :meth:`schedule_timed_event`."""
+        entry = [when_fs, next(self._seq), KIND_EVENT, event]
         heapq.heappush(self._timed_heap, entry)
         return entry
 
-    def schedule_timed_resume(self, process: Process, when: SimTime) -> _TimedEntry:
-        """Schedule a process timeout wake-up at ``when``."""
-        entry = _TimedEntry(when, next(self._seq), "resume", process)
+    def _schedule_resume_fs(self, process, when_fs: int) -> list:
+        """Integer-time fast path for :meth:`schedule_timed_resume`."""
+        entry = [when_fs, next(self._seq), KIND_RESUME, process]
         heapq.heappush(self._timed_heap, entry)
         return entry
 
@@ -329,29 +344,31 @@ class SimContext:
             self.elaborate()
         if duration is not None and until is not None:
             raise SimulationError("pass either duration or until, not both")
-        limit: Optional[SimTime] = None
+        limit_fs: Optional[int] = None
         if duration is not None:
-            limit = self._now + duration
+            limit_fs = self._now_fs + duration._fs
         elif until is not None:
-            if until < self._now:
+            if until._fs < self._now_fs:
                 raise SimulationError(
                     f"cannot run until {until}: already at {self._now}"
                 )
-            limit = until
+            limit_fs = until._fs
 
         self._stop_requested = False
         self._running = True
         try:
-            self._event_loop(limit)
+            self._event_loop(limit_fs)
         finally:
             self._running = False
         if self._failure is not None:
             failure, self._failure = self._failure, None
             raise failure
-        if limit is not None and self._now < limit and not self._stop_requested:
+        if (limit_fs is not None and self._now_fs < limit_fs
+                and not self._stop_requested):
             # Starved before the limit: time still advances to the limit so
             # that consecutive run() calls compose predictably.
-            self._now = limit
+            self._now_fs = limit_fs
+            self._now = SimTime._from_fs(limit_fs)
         return self._now
 
     def run_all(self, max_time: Optional[SimTime] = None) -> SimTime:
@@ -362,21 +379,30 @@ class SimContext:
     # the scheduler proper
     # ------------------------------------------------------------------
 
-    def _event_loop(self, limit: Optional[SimTime]) -> None:
+    def _event_loop(self, limit_fs: Optional[int]) -> None:
+        # Hot attributes and helpers bound to locals: at millions of
+        # iterations the repeated attribute lookups dominate, and none of
+        # these objects are rebound elsewhere (the update/delta lists are
+        # swapped wholesale, so those stay attribute accesses).
+        runnable = self._runnable
+        popleft = runnable.popleft
+        heap = self._timed_heap
+        heappop = heapq.heappop
+        max_deltas = self.max_deltas_per_timestep
         while True:
             # -- evaluation phase --------------------------------------
-            ran_any = bool(self._runnable)
+            ran_any = bool(runnable)
             if ran_any:
                 self._last_activity = self._now
-            while self._runnable:
-                proc = self._runnable.popleft()
-                self.current_process = proc
-                proc._dispatch()
+                while runnable:
+                    proc = popleft()
+                    self.current_process = proc
+                    proc._dispatch()
+                    if self._stop_requested:
+                        break
                 self.current_process = None
                 if self._stop_requested:
-                    break
-            if self._stop_requested:
-                return
+                    return
 
             # -- update phase ------------------------------------------
             if self._update_queue:
@@ -393,60 +419,48 @@ class SimContext:
                 for ev in events:
                     ev._fire_scheduled("delta")
 
-            if self._runnable:
+            if runnable:
                 self._delta_count += 1
                 self._deltas_this_timestep += 1
-                if self._deltas_this_timestep > self.max_deltas_per_timestep:
+                if self._deltas_this_timestep > max_deltas:
                     raise SimulationError(
-                        f"more than {self.max_deltas_per_timestep} delta "
+                        f"more than {max_deltas} delta "
                         f"cycles at time {self._now}; the model is probably "
                         f"in a zero-time activity loop"
                     )
                 continue
 
-            if ran_any and not self._timed_heap:
+            if ran_any and not heap:
                 # Give one more pass in case the update phase scheduled work.
-                if self._runnable or self._delta_events or self._update_queue:
+                if runnable or self._delta_events or self._update_queue:
                     continue
 
             # -- timed notification phase --------------------------------
-            entry = self._pop_live_timed()
-            if entry is None:
+            # Discard cancelled entries that surfaced at the top, then
+            # peek (never pop-and-push-back) to test the run horizon.
+            while heap and heap[0][2] == KIND_CANCELLED:
+                heappop(heap)
+            if not heap:
                 return  # starvation
-            if limit is not None and entry.when > limit:
-                # Put it back; it is beyond this run's horizon.
-                heapq.heappush(self._timed_heap, entry)
-                self._now = limit
+            when_fs = heap[0][0]
+            if limit_fs is not None and when_fs > limit_fs:
+                self._now_fs = limit_fs
+                self._now = SimTime._from_fs(limit_fs)
                 return
-            self._advance_time(entry.when)
-            self._fire_timed(entry)
-            # Fire everything else scheduled at the same instant.
-            while self._timed_heap and self._timed_heap[0].when == entry.when:
-                nxt = self._pop_live_timed()
-                if nxt is None:
-                    break
-                if nxt.when != entry.when:
-                    heapq.heappush(self._timed_heap, nxt)
-                    break
-                self._fire_timed(nxt)
+            self._now_fs = when_fs
+            self._now = SimTime._from_fs(when_fs)
+            self._deltas_this_timestep = 0
+            # Single drain of everything scheduled at this instant, in
+            # seq order; cancelled entries pop and drop.  Entries pushed
+            # *during* firing land in heap order and are picked up too.
+            while heap and heap[0][0] == when_fs:
+                entry = heappop(heap)
+                kind = entry[2]
+                if kind == KIND_EVENT:
+                    entry[3]._fire_scheduled("timed")
+                elif kind == KIND_RESUME:
+                    entry[3]._timeout_fired()
             self._delta_count += 1
-
-    def _advance_time(self, when: SimTime) -> None:
-        self._now = when
-        self._deltas_this_timestep = 0
-
-    def _pop_live_timed(self) -> Optional[_TimedEntry]:
-        while self._timed_heap:
-            entry = heapq.heappop(self._timed_heap)
-            if not entry.cancelled:
-                return entry
-        return None
-
-    def _fire_timed(self, entry: _TimedEntry) -> None:
-        if entry.kind == "event":
-            entry.payload._fire_scheduled("timed")
-        else:  # "resume"
-            entry.payload._timeout_fired()
 
     # ------------------------------------------------------------------
     # diagnostics
@@ -459,13 +473,16 @@ class SimContext:
             self._runnable
             or self._delta_events
             or self._update_queue
-            or any(not e.cancelled for e in self._timed_heap)
+            or any(e[ENTRY_KIND] != KIND_CANCELLED for e in self._timed_heap)
         )
 
     def time_of_next_activity(self) -> Optional[SimTime]:
         """Earliest pending timed notification, or None."""
-        live = [e.when for e in self._timed_heap if not e.cancelled]
-        return min(live) if live else None
+        live = [
+            e[ENTRY_WHEN_FS] for e in self._timed_heap
+            if e[ENTRY_KIND] != KIND_CANCELLED
+        ]
+        return SimTime._from_fs(min(live)) if live else None
 
     def __repr__(self) -> str:
         return (

@@ -27,6 +27,22 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernel.process import Process
 
 
+# Timed-heap entry layout, shared by SimContext (which owns the heap),
+# Event (timed notifications) and Process (timeouts).  An entry is a
+# mutable 4-list ``[when_fs, seq, kind, payload]`` ordered by plain
+# integer comparison: ``when_fs`` is absolute femtoseconds, ``seq`` is a
+# unique tie-breaker, so comparisons never reach ``kind``/``payload``.
+# Cancellation rewrites ``kind`` in place — no heap surgery needed.
+ENTRY_WHEN_FS = 0
+ENTRY_SEQ = 1
+ENTRY_KIND = 2
+ENTRY_PAYLOAD = 3
+
+KIND_EVENT = 0
+KIND_RESUME = 1
+KIND_CANCELLED = 2
+
+
 def _resolve_ctx(owner) -> "SimContext":
     """Accept either a SimContext or any object exposing ``.ctx``."""
     ctx = getattr(owner, "ctx", owner)
@@ -59,6 +75,7 @@ class Event:
         "_pending_handle",
         "_trigger_count",
         "_last_trigger_delta",
+        "_wait_cond",
     )
 
     def __init__(self, owner, name: str = ""):
@@ -75,6 +92,9 @@ class Event:
         self._pending_handle = None
         self._trigger_count = 0
         self._last_trigger_delta = -1
+        #: lazily-built WaitCondition for ``yield event`` (set by
+        #: WaitCondition.normalize, cached here to avoid re-allocation)
+        self._wait_cond = None
 
     # -- notification API ------------------------------------------------
 
@@ -90,25 +110,38 @@ class Event:
         if self._pending_kind == "timed":
             self._cancel_timed()
         self._pending_kind = "delta"
-        self.ctx.schedule_delta_event(self)
+        self.ctx._delta_events.append(self)
 
     def notify_after(self, delay: SimTime) -> None:
         """Notify ``delay`` after the current simulation time.
 
         A zero delay is equivalent to :meth:`notify_delta`.
         """
-        if delay == ZERO_TIME:
+        if not isinstance(delay, SimTime):
+            raise TypeError(
+                f"notify_after requires a SimTime delay, got "
+                f"{type(delay).__name__}"
+            )
+        delay_fs = delay._fs
+        if delay_fs == 0:
             self.notify_delta()
             return
-        when = self.ctx.now + delay
+        self._notify_at_fs(self.ctx._now_fs + delay_fs)
+
+    def _notify_at_fs(self, when_fs: int) -> None:
+        """Timed notification at absolute integer time (kernel fast path).
+
+        Skips all ``SimTime`` construction; the same override rule as
+        :meth:`notify_after` applies (an earlier notification wins).
+        """
         if self._pending_kind == "delta":
             return  # pending delta is earlier than any timed notification
         if self._pending_kind == "timed":
-            if self._pending_handle.when <= when:
+            if self._pending_handle[ENTRY_WHEN_FS] <= when_fs:
                 return  # pending notification is no later; keep it
-            self._cancel_timed()
+            self._pending_handle[ENTRY_KIND] = KIND_CANCELLED
         self._pending_kind = "timed"
-        self._pending_handle = self.ctx.schedule_timed_event(self, when)
+        self._pending_handle = self.ctx._schedule_event_fs(self, when_fs)
 
     def cancel(self) -> None:
         """Cancel any pending delta or timed notification."""
@@ -119,7 +152,7 @@ class Event:
             self._pending_kind = None
 
     def _cancel_timed(self) -> None:
-        self._pending_handle.cancelled = True
+        self._pending_handle[ENTRY_KIND] = KIND_CANCELLED
         self._pending_handle = None
         self._pending_kind = None
 
@@ -137,14 +170,17 @@ class Event:
         """Wake every waiting process.  Runs inside the evaluation phase
         (immediate notify) or the notification phase (delta/timed)."""
         self._trigger_count += 1
-        self._last_trigger_delta = self.ctx.delta_count
+        self._last_trigger_delta = self.ctx._delta_count
         if self._dynamic_waiters:
             waiters = self._dynamic_waiters
             self._dynamic_waiters = []
             for process in waiters:
                 process._event_triggered(self)
         for process in self._static_waiters:
-            process._static_triggered(self)
+            # Inlined Process._static_triggered: wake only the processes
+            # actually suspended on their static sensitivity list.
+            if process._waiting_static:
+                process._wake(self)
 
     # -- wait-list management (used by Process) ---------------------------
 
@@ -167,7 +203,7 @@ class Event:
     @property
     def triggered(self) -> bool:
         """True if this event triggered in the current delta cycle."""
-        return self._last_trigger_delta == self.ctx.delta_count
+        return self._last_trigger_delta == self.ctx._delta_count
 
     @property
     def trigger_count(self) -> int:

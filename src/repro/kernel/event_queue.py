@@ -44,9 +44,8 @@ class EventQueue(SimObject):
 
     def notify(self, delay: SimTime = ZERO_TIME) -> None:
         """Queue a notification ``delay`` from now (0 = next delta)."""
-        when = self.ctx.now + delay
         heapq.heappush(
-            self._pending, (when.femtoseconds, next(self._seq))
+            self._pending, (self.ctx._now_fs + delay._fs, next(self._seq))
         )
         self._arm()
 
@@ -72,13 +71,13 @@ class EventQueue(SimObject):
             self._relay._add_dynamic(self._pump)
             self._pump_waiting = True
         when_fs = self._pending[0][0]
-        now_fs = self.ctx.now.femtoseconds
-        if when_fs <= now_fs:
+        if when_fs <= self.ctx._now_fs:
             self._relay.notify_delta()
         else:
             # An already-pending later notification is overridden; an
-            # already-pending earlier one makes this a no-op.
-            self._relay.notify_after(SimTime(when_fs - now_fs))
+            # already-pending earlier one makes this a no-op.  The
+            # integer-time path skips SimTime construction entirely.
+            self._relay._notify_at_fs(when_fs)
 
     def _pump_fired(self) -> None:
         self._pump_waiting = False

@@ -104,8 +104,10 @@ class Fifo(SimObject, Generic[T]):
 
     def _request_update(self) -> None:
         if not self._update_pending:
+            # The _update_pending flag already dedupes, so skip
+            # request_update's id()-set and append to the queue directly.
             self._update_pending = True
-            self.ctx.request_update(self)
+            self.ctx._update_queue.append(self)
 
     def _perform_update(self) -> None:
         self._update_pending = False

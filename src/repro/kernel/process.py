@@ -36,7 +36,13 @@ import enum
 from typing import TYPE_CHECKING, Callable, Generator, Iterable, Optional, Set, Tuple
 
 from repro.kernel.errors import ProcessError
-from repro.kernel.event import Event, EventAndList, EventOrList
+from repro.kernel.event import (
+    ENTRY_KIND,
+    Event,
+    EventAndList,
+    EventOrList,
+    KIND_CANCELLED,
+)
 from repro.kernel.simtime import SimTime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -57,6 +63,17 @@ class WaitMode(enum.Enum):
     STATIC = "static"  # wake on the static sensitivity list
 
 
+# Hot-path bindings: enum member access goes through the metaclass on
+# every lookup, so the scheduler-critical members are bound to module
+# locals once.
+_READY = ProcessState.READY
+_RUNNING = ProcessState.RUNNING
+_WAITING = ProcessState.WAITING
+_MODE_STATIC = WaitMode.STATIC
+_MODE_TIMED = WaitMode.TIMED
+_MODE_ALL = WaitMode.ALL
+
+
 class WaitCondition:
     """Normalized description of what a suspended process is waiting for."""
 
@@ -74,19 +91,35 @@ class WaitCondition:
 
     @classmethod
     def normalize(cls, yielded) -> "WaitCondition":
-        """Turn any legal yield value into a :class:`WaitCondition`."""
+        """Turn any legal yield value into a :class:`WaitCondition`.
+
+        The three hottest yields — an :class:`Event`, a :class:`SimTime`
+        and a pre-built :class:`WaitCondition` — resolve to cached,
+        shared instances so steady-state simulation allocates nothing
+        here.  Wait conditions are treated as immutable throughout the
+        kernel, which is what makes the sharing safe.
+        """
         if yielded is None:
-            return cls(WaitMode.STATIC)
+            return _STATIC_WAIT
         if isinstance(yielded, Event):
-            return cls(WaitMode.ANY, (yielded,))
+            cond = yielded._wait_cond
+            if cond is None:
+                cond = cls(WaitMode.ANY, (yielded,))
+                yielded._wait_cond = cond
+            return cond
+        if isinstance(yielded, SimTime):
+            cond = _TIMED_WAIT_CACHE.get(yielded)
+            if cond is None:
+                cond = cls(WaitMode.TIMED, timeout=yielded)
+                if len(_TIMED_WAIT_CACHE) < _TIMED_WAIT_CACHE_CAP:
+                    _TIMED_WAIT_CACHE[yielded] = cond
+            return cond
+        if isinstance(yielded, WaitCondition):
+            return yielded
         if isinstance(yielded, EventOrList):
             return cls(WaitMode.ANY, yielded.events)
         if isinstance(yielded, EventAndList):
             return cls(WaitMode.ALL, yielded.events)
-        if isinstance(yielded, SimTime):
-            return cls(WaitMode.TIMED, timeout=yielded)
-        if isinstance(yielded, WaitCondition):
-            return yielded
         converter = getattr(yielded, "as_wait_condition", None)
         if converter is not None:
             # Duck-typed hook: annotation objects (e.g. the eSW
@@ -109,6 +142,13 @@ class WaitCondition:
         raise ProcessError(
             f"process yielded an invalid wait condition: {yielded!r}"
         )
+
+
+#: Shared instances returned by :meth:`WaitCondition.normalize` for the
+#: hot yields; see its docstring for the immutability contract.
+_STATIC_WAIT = WaitCondition(WaitMode.STATIC)
+_TIMED_WAIT_CACHE: dict = {}
+_TIMED_WAIT_CACHE_CAP = 4096
 
 
 def wait(*args) -> WaitCondition:
@@ -134,6 +174,20 @@ def wait(*args) -> WaitCondition:
 
 class Process:
     """Base class for both process flavours."""
+
+    __slots__ = (
+        "ctx",
+        "name",
+        "state",
+        "static_sensitivity",
+        "terminated_event",
+        "_wake_value",
+        "_timeout_handle",
+        "_waiting_static",
+        "_pending_all",
+        "_wait_events",
+        "exception",
+    )
 
     kind = "process"
 
@@ -163,22 +217,40 @@ class Process:
     # -- wake-up plumbing ---------------------------------------------------
 
     def _clear_dynamic_wait(self) -> None:
-        for ev in self._wait_events:
-            ev._remove_dynamic(self)
-        self._wait_events = ()
-        self._pending_all.clear()
+        if self._wait_events:
+            for ev in self._wait_events:
+                ev._remove_dynamic(self)
+            self._wait_events = ()
+        if self._pending_all:
+            self._pending_all.clear()
         self._waiting_static = False
         if self._timeout_handle is not None:
-            self._timeout_handle.cancelled = True
+            self._timeout_handle[ENTRY_KIND] = KIND_CANCELLED
             self._timeout_handle = None
 
     def _wake(self, wake_value: Optional[Event]) -> None:
-        if self.state is not ProcessState.WAITING:
+        if self.state is not _WAITING:
             return
-        self._clear_dynamic_wait()
+        # Inlined _clear_dynamic_wait, with one extra trick: the event
+        # that woke us (``wake_value``) already swapped its waiter list
+        # out wholesale in Event._trigger, so removing ourselves from it
+        # would only raise-and-swallow a ValueError — skip it.
+        wait_events = self._wait_events
+        if wait_events:
+            for ev in wait_events:
+                if ev is not wake_value:
+                    ev._remove_dynamic(self)
+            self._wait_events = ()
+        if self._pending_all:
+            self._pending_all.clear()
+        self._waiting_static = False
+        handle = self._timeout_handle
+        if handle is not None:
+            handle[ENTRY_KIND] = KIND_CANCELLED
+            self._timeout_handle = None
         self._wake_value = wake_value
-        self.state = ProcessState.READY
-        self.ctx.make_runnable(self)
+        self.state = _READY
+        self.ctx._runnable.append(self)
 
     def _event_triggered(self, event: Event) -> None:
         """Called by an event this process dynamically waits on."""
@@ -203,8 +275,9 @@ class Process:
 
     def _apply_wait(self, cond: WaitCondition) -> None:
         """Suspend this process on ``cond``."""
-        self.state = ProcessState.WAITING
-        if cond.mode is WaitMode.STATIC:
+        self.state = _WAITING
+        mode = cond.mode
+        if mode is _MODE_STATIC:
             if not self.static_sensitivity:
                 # A static wait with no sensitivity suspends forever; this
                 # is legal in SystemC but almost always a bug in a model.
@@ -216,20 +289,22 @@ class Process:
                 )
             self._waiting_static = True
             return
-        if cond.mode is WaitMode.TIMED:
-            self._timeout_handle = self.ctx.schedule_timed_resume(
-                self, self.ctx.now + cond.timeout
+        ctx = self.ctx
+        if mode is _MODE_TIMED:
+            self._timeout_handle = ctx._schedule_resume_fs(
+                self, ctx._now_fs + cond.timeout._fs
             )
             return
         # ANY / ALL over events, possibly with a timeout.
-        self._wait_events = cond.events
-        for ev in cond.events:
-            ev._add_dynamic(self)
-        if cond.mode is WaitMode.ALL:
-            self._pending_all = set(cond.events)
+        events = cond.events
+        self._wait_events = events
+        for ev in events:
+            ev._dynamic_waiters.append(self)
+        if mode is _MODE_ALL:
+            self._pending_all = set(events)
         if cond.timeout is not None:
-            self._timeout_handle = self.ctx.schedule_timed_resume(
-                self, self.ctx.now + cond.timeout
+            self._timeout_handle = ctx._schedule_resume_fs(
+                self, ctx._now_fs + cond.timeout._fs
             )
 
     def _terminate(self) -> None:
@@ -248,6 +323,8 @@ class Process:
 
 class ThreadProcess(Process):
     """A coroutine process driven by a generator function."""
+
+    __slots__ = ("_fn", "_gen", "dont_initialize")
 
     kind = "thread"
 
@@ -279,11 +356,27 @@ class ThreadProcess(Process):
         self._advance(first=True)
 
     def _dispatch(self) -> None:
-        self.state = ProcessState.RUNNING
-        if self._gen is None:
+        # The steady-state resume path is fully inlined here: one
+        # generator send, one normalize, one apply_wait.
+        gen = self._gen
+        if gen is None:
+            self.state = _RUNNING
             self._start()
-        else:
-            self._advance()
+            return
+        self.state = _RUNNING
+        wake = self._wake_value
+        self._wake_value = None
+        try:
+            yielded = gen.send(wake)
+        except StopIteration:
+            self._terminate()
+            return
+        except BaseException as exc:
+            self.exception = exc
+            self._terminate()
+            self.ctx._process_failed(self, exc)
+            return
+        self._apply_wait(WaitCondition.normalize(yielded))
 
     def _advance(self, first: bool = False) -> None:
         self.state = ProcessState.RUNNING
@@ -307,6 +400,8 @@ class ThreadProcess(Process):
 
 class MethodProcess(Process):
     """A run-to-completion callback process."""
+
+    __slots__ = ("_fn", "dont_initialize", "_next_trigger_override")
 
     kind = "method"
 
@@ -333,7 +428,7 @@ class MethodProcess(Process):
             self._next_trigger_override = wait(*args)
 
     def _dispatch(self) -> None:
-        self.state = ProcessState.RUNNING
+        self.state = _RUNNING
         self._wake_value = None
         self._next_trigger_override = None
         try:
@@ -348,7 +443,7 @@ class MethodProcess(Process):
                 f"method process {self.name!r} is a generator function; "
                 f"register it as a thread process instead"
             )
-        cond = self._next_trigger_override or WaitCondition(WaitMode.STATIC)
+        cond = self._next_trigger_override or _STATIC_WAIT
         self._apply_wait(cond)
 
 

@@ -74,8 +74,10 @@ class Signal(SimObject, Generic[T]):
                     )
         self._next = value
         if not self._update_pending:
+            # The _update_pending flag already dedupes, so skip
+            # request_update's id()-set and append to the queue directly.
             self._update_pending = True
-            self.ctx.request_update(self)
+            self.ctx._update_queue.append(self)
 
     def force(self, value: T) -> None:
         """Set the current value immediately, bypassing the update phase.
@@ -94,7 +96,7 @@ class Signal(SimObject, Generic[T]):
         # Processes woken by this change run in the *next* delta cycle;
         # stamp that delta so ``event``/``posedge()`` read true for them
         # (matching sc_signal::event()).
-        self._last_change_delta = self.ctx.delta_count + 1
+        self._last_change_delta = self.ctx._delta_count + 1
         self._value_changed.notify_delta()
         # Edge events are meaningful for bool-like signals; defining them
         # through truthiness keeps int signals usable as wires too.
@@ -133,7 +135,7 @@ class Signal(SimObject, Generic[T]):
     @property
     def event(self) -> bool:
         """True if the value changed in the current delta cycle."""
-        return self._last_change_delta == self.ctx.delta_count
+        return self._last_change_delta == self.ctx._delta_count
 
     def posedge(self) -> bool:
         """True if this delta's change was a rising edge."""

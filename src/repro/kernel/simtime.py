@@ -45,6 +45,16 @@ _TIME_STRING_RE = re.compile(
     r"^\s*(?P<value>\d+(?:\.\d+)?)\s*(?P<unit>fs|ps|ns|us|ms|sec|s)\s*$"
 )
 
+#: Interned SimTime instances keyed by femtosecond count.  A simulation
+#: re-creates the same handful of durations (clock phases, bus-cycle
+#: latencies, inter-transaction gaps) millions of times; interning makes
+#: those constructions a dict hit instead of an allocation.  Bounded so
+#: a workload sweeping unique timestamps cannot grow it without limit.
+_INTERN_CACHE: dict = {}
+_INTERN_CAP = 4096
+
+_object_new = object.__new__
+
 
 @functools.total_ordering
 class SimTime:
@@ -73,6 +83,23 @@ class SimTime:
     # -- construction -------------------------------------------------
 
     @classmethod
+    def _from_fs(cls, femtoseconds: int) -> "SimTime":
+        """Trusted fast constructor from a non-negative femtosecond count.
+
+        Kernel-internal: skips the type/sign validation of ``__init__``
+        and interns common values.  Callers must guarantee
+        ``femtoseconds`` is a non-negative ``int``.
+        """
+        cached = _INTERN_CACHE.get(femtoseconds)
+        if cached is not None:
+            return cached
+        t = _object_new(cls)
+        t._fs = femtoseconds
+        if len(_INTERN_CACHE) < _INTERN_CAP:
+            _INTERN_CACHE[femtoseconds] = t
+        return t
+
+    @classmethod
     def from_value(cls, value: float, unit: str) -> "SimTime":
         """Build a time from a value and unit name (``"ns"``, ``"ps"`` ...).
 
@@ -90,7 +117,9 @@ class SimTime:
                 f"{value} {unit} does not resolve to an integer number of "
                 f"femtoseconds"
             )
-        return cls(int(rounded))
+        if rounded < 0:
+            raise TimeError(f"time cannot be negative: {value} {unit}")
+        return cls._from_fs(int(rounded))
 
     @classmethod
     def parse(cls, text: str) -> "SimTime":
@@ -125,7 +154,7 @@ class SimTime:
     def __add__(self, other: "SimTime") -> "SimTime":
         if not isinstance(other, SimTime):
             return NotImplemented
-        return SimTime(self._fs + other._fs)
+        return SimTime._from_fs(self._fs + other._fs)
 
     def __sub__(self, other: "SimTime") -> "SimTime":
         if not isinstance(other, SimTime):
@@ -134,12 +163,12 @@ class SimTime:
             raise TimeError(
                 f"time subtraction underflow: {self} - {other}"
             )
-        return SimTime(self._fs - other._fs)
+        return SimTime._from_fs(self._fs - other._fs)
 
     def __mul__(self, factor: int) -> "SimTime":
         if not isinstance(factor, int):
             return NotImplemented
-        return SimTime(self._fs * factor)
+        return SimTime._from_fs(self._fs * factor)
 
     __rmul__ = __mul__
 
@@ -149,7 +178,7 @@ class SimTime:
                 raise ZeroDivisionError("division by zero time")
             return self._fs // other._fs
         if isinstance(other, int):
-            return SimTime(self._fs // other)
+            return SimTime._from_fs(self._fs // other)
         return NotImplemented
 
     def __mod__(self, other: "SimTime") -> "SimTime":
@@ -157,7 +186,7 @@ class SimTime:
             return NotImplemented
         if other._fs == 0:
             raise ZeroDivisionError("modulo by zero time")
-        return SimTime(self._fs % other._fs)
+        return SimTime._from_fs(self._fs % other._fs)
 
     def __truediv__(self, other: "SimTime") -> float:
         if not isinstance(other, SimTime):
@@ -197,8 +226,10 @@ class SimTime:
         return f"{self._fs} fs"
 
 
-#: The zero duration, used pervasively as a default.
+#: The zero duration, used pervasively as a default.  Interned so the
+#: kernel's ``_from_fs(0)`` always returns this exact instance.
 ZERO_TIME = SimTime(0)
+_INTERN_CACHE[0] = ZERO_TIME
 
 
 def fs(value: float) -> SimTime:

@@ -36,6 +36,11 @@ from repro.kernel.sync import Mutex
 from repro.ocp.tl import OcpTargetIf
 from repro.ocp.types import OcpCmd, OcpRequest, OcpResp, OcpResponse
 
+# Enum ``.value`` goes through a descriptor on every access; these two
+# are read every clock edge of every pin-level model, so bind them once.
+_IDLE = OcpCmd.IDLE.value
+_NULL = OcpResp.NULL.value
+
 
 class OcpPinBundle(SimObject):
     """The OCP signal group between one master and one slave."""
@@ -63,22 +68,22 @@ class OcpPinBundle(SimObject):
 
     def idle_request(self) -> None:
         """Master helper: drive the request group idle."""
-        self.m_cmd.write(OcpCmd.IDLE.value)
+        self.m_cmd.write(_IDLE)
         self.m_burst_length.write(0)
 
     def idle_response(self) -> None:
         """Slave helper: drive the response group idle."""
-        self.s_resp.write(OcpResp.NULL.value)
+        self.s_resp.write(_NULL)
 
     @property
     def request_active(self) -> bool:
         """True while the master presents a request beat."""
-        return self.m_cmd.read() != OcpCmd.IDLE.value
+        return self.m_cmd.read() != _IDLE
 
     @property
     def response_active(self) -> bool:
         """True while the slave presents a response beat."""
-        return self.s_resp.read() != OcpResp.NULL.value
+        return self.s_resp.read() != _NULL
 
 
 class OcpPinMaster(SimObject, OcpTargetIf):
@@ -131,7 +136,7 @@ class OcpPinMaster(SimObject, OcpTargetIf):
                 while True:
                     yield clk_edge
                     code = bundle.s_resp.read()
-                    if code != OcpResp.NULL.value:
+                    if code != _NULL:
                         break
                 resp_code = OcpResp(code)
                 data.append(bundle.s_data.read())

@@ -19,7 +19,12 @@ from typing import List, Optional
 
 
 class OcpCmd(enum.Enum):
-    """OCP master command (MCmd)."""
+    """OCP master command (MCmd).
+
+    ``is_read`` / ``is_write`` are plain per-member attributes (filled in
+    right after the class body): command classification happens per beat
+    on the pin-accurate hot path, so it must not cost a property call.
+    """
 
     IDLE = 0
     WR = 1    # write
@@ -27,15 +32,13 @@ class OcpCmd(enum.Enum):
     RDEX = 3  # exclusive read (used by locking protocols)
     WRNP = 5  # non-posted write (response required)
 
-    @property
-    def is_read(self) -> bool:
-        """True for read-class commands."""
-        return self in (OcpCmd.RD, OcpCmd.RDEX)
+    is_read: bool
+    is_write: bool
 
-    @property
-    def is_write(self) -> bool:
-        """True for write-class commands."""
-        return self in (OcpCmd.WR, OcpCmd.WRNP)
+
+for _cmd in OcpCmd:
+    _cmd.is_read = _cmd in (OcpCmd.RD, OcpCmd.RDEX)
+    _cmd.is_write = _cmd in (OcpCmd.WR, OcpCmd.WRNP)
 
 
 class OcpResp(enum.Enum):
@@ -100,13 +103,14 @@ class OcpRequest:
             raise ValueError(
                 f"beat {beat} outside burst of {self.burst_length}"
             )
-        if self.burst_seq is BurstSeq.STRM:
+        seq = self.burst_seq
+        if seq is BurstSeq.INCR:
+            return self.addr + beat * self.word_bytes
+        if seq is BurstSeq.STRM:
             return self.addr
-        if self.burst_seq is BurstSeq.WRAP:
-            span = self.burst_length * self.word_bytes
-            base = (self.addr // span) * span
-            return base + (self.addr - base + beat * self.word_bytes) % span
-        return self.addr + beat * self.word_bytes
+        span = self.burst_length * self.word_bytes
+        base = (self.addr // span) * span
+        return base + (self.addr - base + beat * self.word_bytes) % span
 
     def __repr__(self) -> str:
         return (

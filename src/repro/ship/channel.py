@@ -68,7 +68,12 @@ class ShipTiming:
 
     def transfer_time(self, nbytes: int) -> SimTime:
         """Transfer duration for a payload of ``nbytes``."""
-        return self.base_latency + self.per_byte * nbytes
+        return SimTime._from_fs(self.transfer_time_fs(nbytes))
+
+    def transfer_time_fs(self, nbytes: int) -> int:
+        """Transfer duration as integer femtoseconds (hot-path form:
+        the untimed common case costs two int reads and no allocation)."""
+        return self.base_latency._fs + self.per_byte._fs * nbytes
 
 
 class _Message:
@@ -232,9 +237,9 @@ class ShipChannel(SimObject):
             )
         txn_id = self._unanswered[end].popleft()
         nbytes = self._wire_size(obj)
-        delay = self.timing.transfer_time(nbytes)
-        if delay > ZERO_TIME:
-            yield delay
+        delay_fs = self.timing.transfer_time_fs(nbytes)
+        if delay_fs:
+            yield SimTime._from_fs(delay_fs)
         slot = self._pending_replies.pop(txn_id)
         slot[0] = self._roundtrip(obj)
         slot[1].notify()
@@ -276,9 +281,9 @@ class ShipChannel(SimObject):
             data = encode_message(obj)
             payload_obj = None
             nbytes = len(data)
-        delay = self.timing.transfer_time(nbytes)
-        if delay > ZERO_TIME:
-            yield delay
+        delay_fs = self.timing.transfer_time_fs(nbytes)
+        if delay_fs:
+            yield SimTime._from_fs(delay_fs)
         queue = self._queues[end]
         while len(queue) >= self.capacity:
             yield self._space_events[end]

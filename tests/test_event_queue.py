@@ -107,6 +107,48 @@ class TestEventQueue:
         ctx.run()
         assert count == ["1 ns", "11 ns", "21 ns"]
 
+    def test_same_instant_deliveries_use_consecutive_deltas(self, ctx,
+                                                            top):
+        """One trigger per notification: n same-instant notifications
+        arrive in n consecutive delta cycles, never collapsed into one
+        trigger by the scheduler's same-timestamp batch drain."""
+        q = EventQueue("q", top)
+        deltas = []
+
+        def waiter():
+            while True:
+                yield q.event
+                deltas.append((str(ctx.now), ctx.delta_count))
+
+        def notifier():
+            for _ in range(4):
+                q.notify(ns(10))
+            yield ns(1)
+
+        ctx.register_thread(waiter, "w")
+        ctx.register_thread(notifier, "n")
+        ctx.run()
+        assert [t for t, _ in deltas] == ["10 ns"] * 4
+        ds = [d for _, d in deltas]
+        assert ds == list(range(ds[0], ds[0] + 4))
+        assert q.delivered == 4
+
+    def test_interleaved_instants_preserve_time_order(self, ctx, top):
+        """Notifications queued out of order still deliver in time
+        order, each exactly once."""
+        q = EventQueue("q", top)
+        log = collect(ctx, q)
+
+        def notifier():
+            for delay in (30, 10, 30, 20, 10):
+                q.notify(ns(delay))
+            yield ns(1)
+
+        ctx.register_thread(notifier, "n")
+        ctx.run()
+        assert log == ["10 ns", "10 ns", "20 ns", "30 ns", "30 ns"]
+        assert q.delivered == 5
+
     def test_usable_in_static_sensitivity(self, ctx, top):
         q = EventQueue("q", top)
         hits = []

@@ -5,14 +5,32 @@ bug, so each one runs as a subprocess (like a user would run it) inside
 a temp directory (so artifact files never pollute the repo).
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _example_env():
+    """Subprocess environment with ``src`` importable.
+
+    The examples import ``repro`` without installing the package; the
+    test process may have gotten it via conftest path munging, but the
+    subprocess needs PYTHONPATH to carry it explicitly.
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + existing if existing else src
+    )
+    return env
 
 
 def test_examples_directory_populated():
@@ -25,6 +43,7 @@ def test_example_runs_clean(script, tmp_path):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script)],
         cwd=tmp_path,
+        env=_example_env(),
         capture_output=True,
         text=True,
         timeout=300,
@@ -38,7 +57,8 @@ def test_example_runs_clean(script, tmp_path):
 def test_prototype_example_writes_vcd(tmp_path):
     subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / "prototype_generation.py")],
-        cwd=tmp_path, capture_output=True, text=True, timeout=300,
+        cwd=tmp_path, env=_example_env(),
+        capture_output=True, text=True, timeout=300,
         check=True,
     )
     vcd = tmp_path / "prototype_pins.vcd"
