@@ -14,8 +14,13 @@ Usage::
 
 ``--quick`` scales every workload down ~10x so the whole harness runs
 in a couple of seconds; quick numbers are too noisy to gate on, so the
-regression check is skipped (the JSON is still written, flagged
-``"quick": true``).
+timing regression checks are skipped (the JSON is still written,
+flagged ``"quick": true``).  The deterministic observability checks —
+an attached observer must see kernel hooks, a detached one must see
+none — gate in every mode, and full runs additionally require the
+obs-disabled ``timed_storm`` rate to stay within ``OBS_OFF_TOLERANCE``
+(2%) of the recorded baseline, proving instrumentation is free when
+off.
 
 ``--write-baseline`` re-records ``benchmarks/baseline.json`` from the
 current run — do this only on a commit whose numbers you want future
@@ -43,6 +48,10 @@ for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")):
 from repro.kernel import Clock, Event, EventQueue, Module, SimContext, ns
 
 REGRESSION_TOLERANCE = 0.10   # fail when >10% below baseline
+#: The observability layer must be free when disabled: the obs-off
+#: timed_storm rate may not sit more than 2% below the recorded
+#: baseline (full runs only; quick numbers are too noisy).
+OBS_OFF_TOLERANCE = 0.02
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernel.json"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
 
@@ -53,8 +62,13 @@ DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
 # units/wall is an events-per-second figure comparable across kernels.
 # ---------------------------------------------------------------------------
 
-def timed_storm(scale: float):
-    """Pure timed-wait throughput: independent periodic threads."""
+def timed_storm(scale: float, observer=None):
+    """Pure timed-wait throughput: independent periodic threads.
+
+    ``observer`` optionally attaches a :class:`repro.obs.SimObserver`
+    before the run — the overhead experiment times the same workload
+    with and without one.
+    """
     n_procs, n_waits = 20, max(1, int(2000 * scale))
     ctx = SimContext()
 
@@ -68,6 +82,8 @@ def timed_storm(scale: float):
 
     for i in range(n_procs):
         ctx.register_thread(make(i), f"p{i}")
+    if observer is not None:
+        ctx.attach_observer(observer)
     start = time.perf_counter()
     ctx.run()
     return n_procs * n_waits, time.perf_counter() - start
@@ -170,6 +186,86 @@ def event_queue_storm(scale: float):
     start = time.perf_counter()
     ctx.run()
     return got[0], time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# Observability overhead experiment.
+# ---------------------------------------------------------------------------
+
+def measure_obs_overhead(scale: float, repeats: int) -> dict:
+    """Best-of-N timed_storm rate without and with an attached observer.
+
+    The "on" case attaches a bare no-op :class:`repro.obs.SimObserver`,
+    so the ratio isolates the cost of the instrumented event loop and
+    the hook calls themselves, not any particular consumer.
+    """
+    from repro.obs import SimObserver
+
+    best_off = 0.0
+    best_on = 0.0
+    for _ in range(repeats):
+        units, wall = timed_storm(scale)
+        best_off = max(best_off, units / wall if wall > 0 else 0.0)
+        units, wall = timed_storm(scale, observer=SimObserver())
+        best_on = max(best_on, units / wall if wall > 0 else 0.0)
+    return {
+        "off_rate_per_s": round(best_off),
+        "on_rate_per_s": round(best_on),
+        "on_off_ratio": round(best_on / best_off, 4) if best_off else 0.0,
+    }
+
+
+def noop_hook_check() -> list:
+    """Deterministic observability sanity checks; returns failures.
+
+    Two invariants that must hold on every commit, quick mode included:
+    an attached observer sees kernel activity, and a detached one sees
+    none (i.e. the instrumentation-off path really is hook-free).
+    """
+    from repro.obs import CountingObserver
+
+    failures = []
+    counting = CountingObserver()
+    timed_storm(0.01, observer=counting)
+    if counting.total == 0:
+        failures.append("attached CountingObserver saw no kernel hooks")
+    if counting.activations == 0:
+        failures.append("attached observer saw no process activations")
+
+    detached = CountingObserver()
+    ctx = SimContext()
+    ctx.attach_observer(detached)
+    ctx.detach_observer()
+
+    def body():
+        for _ in range(10):
+            yield ns(10)
+
+    ctx.register_thread(body, "p")
+    ctx.run()
+    if detached.total:
+        failures.append(
+            f"detached observer still received {detached.total} hooks"
+        )
+
+    # Structural guarantee: with no observer the kernel must run the
+    # uninstrumented fast loop — the strongest form of "obs off is
+    # free", and immune to wall-clock noise.
+    ctx2 = SimContext()
+
+    def bomb(limit_fs):
+        raise AssertionError("instrumented loop used without observer")
+
+    ctx2._event_loop_instrumented = bomb
+    ctx2.register_thread(body, "p")
+    try:
+        ctx2.run()
+    except AssertionError:
+        failures.append(
+            "kernel dispatched to the instrumented event loop with no "
+            "observer attached"
+        )
+    return failures
 
 
 KERNEL_WORKLOADS = [
@@ -290,23 +386,43 @@ def main(argv=None) -> int:
 
     kernel = run_kernel_workloads(scale, args.repeat)
     e1 = run_e1_levels(args.repeat)
+    obs = measure_obs_overhead(scale, args.repeat)
+    obs_failures = noop_hook_check()
 
     baseline = {}
     if args.baseline.exists() and not args.quick:
         baseline = json.loads(args.baseline.read_text())
     regressions = compare(kernel, e1, baseline)
+    base_obs_off = baseline.get("obs_off_rate_per_s")
+    if base_obs_off:
+        obs["baseline_off_rate_per_s"] = base_obs_off
+        ratio = obs["off_rate_per_s"] / base_obs_off
+        obs["off_vs_baseline"] = round(ratio, 4)
+        if ratio < 1.0 - OBS_OFF_TOLERANCE:
+            regressions.append(("obs/off_rate", ratio))
 
     record = {
         "quick": args.quick,
         "python": platform.python_version(),
         "repeat": args.repeat,
         "regression_tolerance": REGRESSION_TOLERANCE,
+        "obs_off_tolerance": OBS_OFF_TOLERANCE,
         "kernel": kernel,
         "e1": e1,
+        "obs": obs,
     }
     args.output.write_text(json.dumps(record, indent=1) + "\n")
     print_report(kernel, e1)
-    print(f"\nwrote {args.output}")
+    print(f"\nobs overhead: off {obs['off_rate_per_s']}/s, "
+          f"on {obs['on_rate_per_s']}/s "
+          f"(ratio {obs['on_off_ratio']:.3f})")
+    print(f"wrote {args.output}")
+
+    if obs_failures:
+        print("\nOBSERVABILITY CHECK FAILED:", file=sys.stderr)
+        for failure in obs_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
 
     if args.write_baseline:
         new_baseline = {
@@ -321,14 +437,16 @@ def main(argv=None) -> int:
             "e1_wall_s": {
                 name: row["wall_s"] for name, row in e1.items()
             },
+            "obs_off_rate_per_s": obs["off_rate_per_s"],
         }
         args.baseline.write_text(json.dumps(new_baseline, indent=2) + "\n")
         print(f"re-recorded baseline at {args.baseline}")
         return 0
 
     if regressions:
-        print("\nREGRESSION: the following workloads are more than "
-              f"{REGRESSION_TOLERANCE:.0%} below the recorded baseline:",
+        print("\nREGRESSION: the following workloads fell below the "
+              f"recorded baseline (tolerance {REGRESSION_TOLERANCE:.0%}, "
+              f"obs-off {OBS_OFF_TOLERANCE:.0%}):",
               file=sys.stderr)
         for name, speedup in regressions:
             print(f"  {name}: x{speedup:.2f} of baseline", file=sys.stderr)

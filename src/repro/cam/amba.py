@@ -41,6 +41,7 @@ class AhbBus(BusCam):
         clock_period: SimTime = None,
         arbiter: Optional[Arbiter] = None,
         recorder: Optional[TransactionRecorder] = None,
+        metrics=None,
     ):
         super().__init__(
             name,
@@ -57,6 +58,7 @@ class AhbBus(BusCam):
             arbiter=arbiter or RoundRobinArbiter(),
             recorder=recorder,
             max_burst=AHB_MAX_BURST,
+            metrics=metrics,
         )
 
 

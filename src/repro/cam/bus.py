@@ -244,6 +244,7 @@ class BusCam(Module):
         arbiter: Optional[Arbiter] = None,
         recorder: Optional[TransactionRecorder] = None,
         max_burst: Optional[int] = None,
+        metrics=None,
     ):
         super().__init__(name, parent, ctx)
         self.clock_period = clock_period if clock_period is not None else ns(10)
@@ -256,6 +257,23 @@ class BusCam(Module):
         self.arbiter = arbiter or StaticPriorityArbiter()
         self.recorder = recorder
         self.stats = BusStats()
+        #: Optional repro.obs MetricsRegistry; when given, every
+        #: completion and arbitration decision also publishes there
+        #: (counters under ``bus.<full_name>.*``).
+        self.metrics = metrics
+        if metrics is not None:
+            base = f"bus.{self.full_name}"
+            self._m_transactions = metrics.counter(f"{base}.transactions")
+            self._m_bytes = metrics.counter(f"{base}.bytes")
+            self._m_errors = metrics.counter(f"{base}.errors")
+            self._m_latency = metrics.histogram(f"{base}.latency_ns")
+            self._m_utilization = metrics.gauge(f"{base}.utilization")
+            self._m_grants = metrics.counter(f"{base}.arbiter.grants")
+            self._m_contended = metrics.counter(
+                f"{base}.arbiter.contended_requests"
+            )
+        else:
+            self._m_grants = None
         self.slaves: List[SlaveBinding] = []
         self._pending: List[_BusTransaction] = []
         self._request_event = Event(self, f"{self.full_name}.request")
@@ -385,6 +403,10 @@ class BusCam(Module):
             if txn is None:  # strict TDMA: idle slot
                 yield period
                 continue
+            if self._m_grants is not None:
+                self._m_grants.inc()
+                if len(self._pending) > 1:
+                    self._m_contended.inc(len(self._pending) - 1)
             self._pending.remove(txn)
             request = txn.request
             binding = self.decode(request.addr, request.nbytes)
@@ -475,6 +497,13 @@ class BusCam(Module):
             data_cycles=data_cycles,
             channel=channel,
         )
+        if self._m_grants is not None:
+            self._m_transactions.inc()
+            self._m_bytes.inc(txn.request.nbytes)
+            if not response.ok:
+                self._m_errors.inc()
+            self._m_latency.observe(latency.to("ns"))
+            self._m_utilization.set(self.utilization(), self.ctx._now_fs)
         if self.recorder is not None:
             self.recorder.record(
                 channel=self.full_name,
@@ -522,7 +551,8 @@ class GenericBus(BusCam):
     """A plain non-pipelined shared bus (the 'simple bus' CAM)."""
 
     def __init__(self, name, parent=None, ctx=None, clock_period=None,
-                 arbiter=None, recorder=None, cycles_per_beat: int = 1):
+                 arbiter=None, recorder=None, cycles_per_beat: int = 1,
+                 metrics=None):
         super().__init__(
             name,
             parent,
@@ -536,4 +566,5 @@ class GenericBus(BusCam):
             ),
             arbiter=arbiter,
             recorder=recorder,
+            metrics=metrics,
         )

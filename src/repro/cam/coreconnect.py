@@ -51,6 +51,7 @@ class PlbBus(BusCam):
         clock_period: SimTime = None,
         arbiter: Optional[Arbiter] = None,
         recorder: Optional[TransactionRecorder] = None,
+        metrics=None,
     ):
         super().__init__(
             name,
@@ -69,6 +70,7 @@ class PlbBus(BusCam):
             # sockets transparently split longer transfers into
             # PLB-legal fixed-length bursts
             max_burst=PLB_MAX_BURST,
+            metrics=metrics,
         )
 
     def data_cycles(self, request: OcpRequest, binding) -> int:
@@ -91,6 +93,7 @@ class OpbBus(BusCam):
         clock_period: SimTime = None,
         arbiter: Optional[Arbiter] = None,
         recorder: Optional[TransactionRecorder] = None,
+        metrics=None,
     ):
         super().__init__(
             name,
@@ -106,6 +109,7 @@ class OpbBus(BusCam):
             ),
             arbiter=arbiter or StaticPriorityArbiter(),
             recorder=recorder,
+            metrics=metrics,
         )
 
 

@@ -96,22 +96,27 @@ def _build_arbiter(config: ArchitectureConfig,
 
 
 def build_fabric(config: ArchitectureConfig, parent: Module,
-                 specs: Sequence[MasterTrafficSpec]):
-    """Instantiate the fabric a config describes."""
+                 specs: Sequence[MasterTrafficSpec], metrics=None):
+    """Instantiate the fabric a config describes.
+
+    ``metrics`` optionally hands the bus fabrics a
+    :class:`repro.obs.MetricsRegistry` to publish into (the crossbar
+    keeps its own per-path accounting and ignores it).
+    """
     arbiter = _build_arbiter(config, specs)
     if config.fabric == "plb":
         return PlbBus("fabric", parent, clock_period=config.clock_period,
-                      arbiter=arbiter)
+                      arbiter=arbiter, metrics=metrics)
     if config.fabric == "opb":
         return OpbBus("fabric", parent, clock_period=config.clock_period,
-                      arbiter=arbiter)
+                      arbiter=arbiter, metrics=metrics)
     if config.fabric == "ahb":
         return AhbBus("fabric", parent, clock_period=config.clock_period,
-                      arbiter=arbiter)
+                      arbiter=arbiter, metrics=metrics)
     if config.fabric == "generic":
         return GenericBus("fabric", parent,
                           clock_period=config.clock_period,
-                          arbiter=arbiter)
+                          arbiter=arbiter, metrics=metrics)
     # crossbar: a fresh arbiter per path
     return CrossbarCam(
         "fabric", parent, clock_period=config.clock_period,
@@ -127,11 +132,21 @@ def run_point(
     seed: int = 1,
     memory_read_wait: int = 1,
     memory_write_wait: int = 1,
+    metrics=None,
+    observer=None,
 ) -> ExplorationResult:
-    """Simulate one design point to workload completion."""
+    """Simulate one design point to workload completion.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) and ``observer``
+    (a :class:`repro.obs.SimObserver`) instrument this point's private
+    simulation — profile or trace a single design point without
+    slowing the rest of the sweep.
+    """
     ctx = SimContext(name=f"explore_{config.name}")
     top = Module("top", ctx=ctx)
-    fabric = build_fabric(config, top, specs)
+    fabric = build_fabric(config, top, specs, metrics=metrics)
+    if observer is not None:
+        ctx.attach_observer(observer)
     # One memory per distinct address region.  Disjoint regions give the
     # crossbar its concurrency opportunity; masters sharing a region
     # (the "contended" workload) share one slave, which is where

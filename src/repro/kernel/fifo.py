@@ -38,6 +38,9 @@ class Fifo(SimObject, Generic[T]):
         self._data_read = Event(self, f"{self.full_name}.data_read")
         self.total_written = 0
         self.total_read = 0
+        #: Optional occupancy instrument (``repro.obs.instruments
+        #: .watch_fifo``); sampled from the update phase when set.
+        self._occupancy_gauge = None
 
     # -- capacity bookkeeping ---------------------------------------------------
 
@@ -118,6 +121,9 @@ class Fifo(SimObject, Generic[T]):
         if self._reads_this_delta:
             self._reads_this_delta = 0
             self._data_read.notify_delta()
+        gauge = self._occupancy_gauge
+        if gauge is not None:
+            gauge.set_at(len(self._items), self.ctx._now_fs)
 
     # -- events --------------------------------------------------------------------
 

@@ -1,0 +1,52 @@
+"""``repro.obs`` — unified observability: hooks, metrics, traces, profiling.
+
+The cross-cutting visibility layer the paper's methodology implies:
+CCATB models exist so designers can *read* cycle counts, latencies and
+contention out of a fast simulation, and this package is where those
+readings live.
+
+* :mod:`repro.obs.hooks` — the kernel instrumentation contract
+  (:class:`SimObserver`); attaching one switches the scheduler to an
+  instrumented loop, detaching restores the zero-overhead fast path.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, histograms and time-weighted gauges that the bus CAMs, the
+  OCP monitor, FIFOs and transaction recorders publish into.
+* :mod:`repro.obs.trace_events` — Chrome trace-event / Perfetto JSON
+  export (:class:`TraceEventCollector`); open any run in
+  ``ui.perfetto.dev``.
+* :mod:`repro.obs.profiler` — :class:`SimProfiler`, per-process host
+  time and activation counts with a top-N hotspot table.
+* :mod:`repro.obs.report` — the ``python -m repro.obs.report`` CLI
+  demonstrating all of the above on a two-master PLB workload.
+
+See ``docs/observability.md`` for the hook points, the metric catalog
+and measured overhead numbers.
+"""
+
+from repro.obs.hooks import CountingObserver, ObserverGroup, SimObserver
+from repro.obs.instruments import watch_fifo, watch_recorder
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    HistogramMetric,
+    MetricsRegistry,
+    TimeWeightedGauge,
+)
+from repro.obs.profiler import ProcessProfile, SimProfiler
+from repro.obs.trace_events import TraceEventCollector
+
+__all__ = [
+    "Counter",
+    "CountingObserver",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "ObserverGroup",
+    "ProcessProfile",
+    "SimObserver",
+    "SimProfiler",
+    "TimeWeightedGauge",
+    "TraceEventCollector",
+    "watch_fifo",
+    "watch_recorder",
+]

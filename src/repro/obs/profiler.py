@@ -1,0 +1,191 @@
+"""Simulation profiler: where does the host's time go?
+
+:class:`SimProfiler` rides the kernel instrumentation hooks and
+aggregates, per process, the activation count and the summed host time
+of its dispatches — the data that answers "which model is making my
+simulation slow" without any external profiler.  It also tallies the
+kernel-phase totals (delta cycles, matured notifications, update
+phases, timesteps) that put the per-process numbers in context.
+
+Typical use::
+
+    profiler = SimProfiler()
+    profiler.start(ctx)      # attaches to the kernel
+    ctx.run()
+    profiler.stop()
+    print(profiler.format_table())
+
+or combine with other observers through
+:class:`~repro.obs.hooks.ObserverGroup` and call ``start()``/``stop()``
+without a context to only bracket the wall-clock window.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.hooks import SimObserver
+
+
+class ProcessProfile:
+    """Accumulated per-process profile data."""
+
+    __slots__ = ("name", "kind", "activations", "wall_s")
+
+    def __init__(self, name: str, kind: str):
+        self.name = name
+        self.kind = kind
+        self.activations = 0
+        self.wall_s = 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-able row for this process."""
+        return {
+            "process": self.name,
+            "kind": self.kind,
+            "activations": self.activations,
+            "wall_s": self.wall_s,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessProfile({self.name!r}, n={self.activations}, "
+            f"wall={self.wall_s * 1e3:.2f}ms)"
+        )
+
+
+class SimProfiler(SimObserver):
+    """Per-process host-time and activation profiler."""
+
+    def __init__(self):
+        self.per_process: Dict[str, ProcessProfile] = {}
+        self.delta_cycles = 0
+        self.events_fired = 0
+        self.update_phases = 0
+        self.timesteps = 0
+        self.wall_s = 0.0
+        self._ctx = None
+        self._t0: Optional[float] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, ctx=None) -> "SimProfiler":
+        """Open the wall-clock window; attach to ``ctx`` when given."""
+        if ctx is not None:
+            ctx.attach_observer(self)
+            self._ctx = ctx
+        self._t0 = time.perf_counter()
+        return self
+
+    def stop(self) -> "SimProfiler":
+        """Close the wall-clock window and detach from the kernel."""
+        if self._t0 is not None:
+            self.wall_s += time.perf_counter() - self._t0
+            self._t0 = None
+        if self._ctx is not None:
+            self._ctx.detach_observer(self)
+            self._ctx = None
+        return self
+
+    # -- kernel hooks --------------------------------------------------------
+
+    def on_process_suspend(self, process, now_fs: int,
+                           wall_s: float) -> None:
+        """Accumulate one dispatch into the process's profile."""
+        prof = self.per_process.get(process.name)
+        if prof is None:
+            prof = ProcessProfile(process.name, process.kind)
+            self.per_process[process.name] = prof
+        prof.activations += 1
+        prof.wall_s += wall_s
+
+    def on_event_fire(self, event, kind: str, now_fs: int) -> None:
+        """Count one matured notification."""
+        self.events_fired += 1
+
+    def on_update_phase(self, channel_count: int, now_fs: int) -> None:
+        """Count one update phase."""
+        self.update_phases += 1
+
+    def on_delta_cycle(self, delta_count: int, now_fs: int) -> None:
+        """Track the kernel's delta counter."""
+        self.delta_cycles += 1
+
+    def on_time_advance(self, now_fs: int) -> None:
+        """Count one distinct simulated timestep."""
+        self.timesteps += 1
+
+    # -- results --------------------------------------------------------------
+
+    @property
+    def total_activations(self) -> int:
+        """Total process dispatches observed."""
+        return sum(p.activations for p in self.per_process.values())
+
+    @property
+    def dispatch_wall_s(self) -> float:
+        """Summed host time spent inside process dispatches."""
+        return sum(p.wall_s for p in self.per_process.values())
+
+    def hotspots(self, n: int = 10) -> List[dict]:
+        """Top ``n`` processes by host time, with their wall-time share.
+
+        The share is relative to the summed dispatch time, so the column
+        adds up to 1.0 across *all* processes.
+        """
+        total = self.dispatch_wall_s
+        rows = sorted(
+            self.per_process.values(),
+            key=lambda p: p.wall_s,
+            reverse=True,
+        )[:max(n, 0)]
+        return [
+            dict(p.as_dict(), share=(p.wall_s / total if total > 0 else 0.0))
+            for p in rows
+        ]
+
+    def report(self) -> dict:
+        """Complete JSON-able profile."""
+        return {
+            "wall_s": self.wall_s,
+            "dispatch_wall_s": self.dispatch_wall_s,
+            "activations": self.total_activations,
+            "delta_cycles": self.delta_cycles,
+            "events_fired": self.events_fired,
+            "update_phases": self.update_phases,
+            "timesteps": self.timesteps,
+            "processes": [
+                p.as_dict() for p in sorted(
+                    self.per_process.values(),
+                    key=lambda p: p.wall_s,
+                    reverse=True,
+                )
+            ],
+        }
+
+    def format_table(self, n: int = 10) -> str:
+        """Human-readable top-``n`` hotspot table."""
+        lines = [
+            f"{'#':<3}{'process':<40}{'activations':>12}"
+            f"{'wall_ms':>10}{'share':>8}",
+            "-" * 73,
+        ]
+        for rank, row in enumerate(self.hotspots(n), start=1):
+            lines.append(
+                f"{rank:<3}{row['process']:<40}{row['activations']:>12}"
+                f"{row['wall_s'] * 1e3:>10.2f}{row['share']:>8.1%}"
+            )
+        lines.append(
+            f"total: {self.total_activations} activations, "
+            f"{self.dispatch_wall_s * 1e3:.2f} ms in dispatch, "
+            f"{self.delta_cycles} delta cycles, "
+            f"{self.timesteps} timesteps"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimProfiler({len(self.per_process)} processes, "
+            f"{self.total_activations} activations)"
+        )

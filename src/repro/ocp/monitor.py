@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Generator, List
 
 from repro.kernel.module import Module
+from repro.obs.metrics import MetricsRegistry
 from repro.ocp.pin import OcpPinBundle
 from repro.ocp.types import OcpCmd, OcpResp
 
@@ -42,23 +43,72 @@ class OcpPinMonitor(Module):
     """Passive pin-level OCP protocol checker and statistics counter."""
 
     def __init__(self, name, parent=None, ctx=None,
-                 bundle: OcpPinBundle = None):
+                 bundle: OcpPinBundle = None, metrics=None):
         super().__init__(name, parent, ctx)
         if bundle is None:
             raise ValueError(f"monitor {name!r} needs a pin bundle")
         self.bundle = bundle
         self.violations: List[OcpViolation] = []
-        # traffic statistics
-        self.request_beats = 0
-        self.response_beats = 0
-        self.bursts_started = 0
-        self.read_beats = 0
-        self.write_beats = 0
-        self.stall_cycles = 0   # request held, not accepted
-        self.idle_cycles = 0
-        self.cycles_observed = 0
+        # Traffic statistics live in a MetricsRegistry under
+        # ``ocp.<full_name>.*`` — pass a shared registry to aggregate
+        # several monitors; a private one is created otherwise, so the
+        # counter attributes below work either way.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        base = f"ocp.{self.full_name}"
+        self._c_request_beats = self.metrics.counter(f"{base}.request_beats")
+        self._c_response_beats = self.metrics.counter(
+            f"{base}.response_beats"
+        )
+        self._c_bursts = self.metrics.counter(f"{base}.bursts_started")
+        self._c_read_beats = self.metrics.counter(f"{base}.read_beats")
+        self._c_write_beats = self.metrics.counter(f"{base}.write_beats")
+        self._c_stall_cycles = self.metrics.counter(f"{base}.stall_cycles")
+        self._c_idle_cycles = self.metrics.counter(f"{base}.idle_cycles")
+        self._c_cycles = self.metrics.counter(f"{base}.cycles_observed")
         self._outstanding_responses = 0
         self.add_thread(self._watch, "watch")
+
+    # -- statistics (registry-backed, read-only attribute views) -----------------
+
+    @property
+    def request_beats(self) -> int:
+        """Accepted request beats."""
+        return self._c_request_beats.value
+
+    @property
+    def response_beats(self) -> int:
+        """Response beats presented by the slave."""
+        return self._c_response_beats.value
+
+    @property
+    def bursts_started(self) -> int:
+        """Distinct request bursts observed."""
+        return self._c_bursts.value
+
+    @property
+    def read_beats(self) -> int:
+        """Accepted read beats."""
+        return self._c_read_beats.value
+
+    @property
+    def write_beats(self) -> int:
+        """Accepted write beats."""
+        return self._c_write_beats.value
+
+    @property
+    def stall_cycles(self) -> int:
+        """Cycles a request beat was held but not accepted."""
+        return self._c_stall_cycles.value
+
+    @property
+    def idle_cycles(self) -> int:
+        """Cycles with neither request nor response activity."""
+        return self._c_idle_cycles.value
+
+    @property
+    def cycles_observed(self) -> int:
+        """Total rising clock edges sampled."""
+        return self._c_cycles.value
 
     def _flag(self, rule: str, detail: str) -> None:
         self.violations.append(
@@ -72,7 +122,7 @@ class OcpPinMonitor(Module):
         beats_remaining = 0  # beats left (incl. current) in this burst
         while True:
             yield edge
-            self.cycles_observed += 1
+            self._c_cycles.inc()
             cmd = bundle.m_cmd.read()
             accept = bundle.s_cmd_accept.read()
             resp = bundle.s_resp.read()
@@ -86,7 +136,7 @@ class OcpPinMonitor(Module):
                     self._check_hold(held, snapshot)
                 elif beats_remaining == 0:
                     # first sight of a new burst
-                    self.bursts_started += 1
+                    self._c_bursts.inc()
                     burst = max(bundle.m_burst_length.read(), 1)
                     beats_remaining = burst
                     if OcpCmd(cmd).is_read:
@@ -94,24 +144,24 @@ class OcpPinMonitor(Module):
                     elif OcpCmd(cmd) is OcpCmd.WRNP:
                         self._outstanding_responses += 1
                 if accept:
-                    self.request_beats += 1
+                    self._c_request_beats.inc()
                     if OcpCmd(cmd).is_read:
-                        self.read_beats += 1
+                        self._c_read_beats.inc()
                     else:
-                        self.write_beats += 1
+                        self._c_write_beats.inc()
                     beats_remaining = max(beats_remaining - 1, 0)
                     held = None
                 else:
-                    self.stall_cycles += 1
+                    self._c_stall_cycles.inc()
                     held = snapshot
             else:
                 held = None
                 if resp == OcpResp.NULL.value:
-                    self.idle_cycles += 1
+                    self._c_idle_cycles.inc()
 
             # ---- response group ----------------------------------------
             if resp != OcpResp.NULL.value:
-                self.response_beats += 1
+                self._c_response_beats.inc()
                 if self._outstanding_responses <= 0:
                     self._flag(
                         "resp-without-request",

@@ -20,7 +20,7 @@ from repro.trace.transaction import (
     TransactionRecorder,
     latency_histogram,
 )
-from repro.trace.vcd import VcdTracer
+from repro.trace.vcd import VcdTracer, VcdWriter
 
 __all__ = [
     "Histogram",
@@ -30,6 +30,7 @@ __all__ = [
     "TransactionRecord",
     "TransactionRecorder",
     "VcdTracer",
+    "VcdWriter",
     "geometric_mean",
     "latency_histogram",
 ]

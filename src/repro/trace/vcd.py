@@ -72,6 +72,7 @@ class VcdTracer:
         self.timescale = timescale
         self._vars: Dict[int, _TracedVar] = {}
         self._header_written = False
+        self._closed = False
         self._last_dump_fs: Optional[int] = None
         self._fs_per_tick = self._parse_timescale(timescale)
 
@@ -171,7 +172,21 @@ class VcdTracer:
         self._stream.flush()
 
     def close(self) -> None:
-        """Flush and close (if this tracer opened the file)."""
+        """Finalize and close (if this tracer opened the file).
+
+        Stamps a final timestamp at the current simulation time so the
+        waveform visibly spans to the end of the run, then flushes;
+        guaranteed to run exactly once (idempotent), including via the
+        context-manager exit on an exception path.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._header_written:
+            now_fs = self.ctx.now.femtoseconds
+            if self._last_dump_fs is not None and now_fs > self._last_dump_fs:
+                self._stream.write(f"#{now_fs // self._fs_per_tick}\n")
+                self._last_dump_fs = now_fs
         self.flush()
         if self._owns_stream:
             self._stream.close()
@@ -181,3 +196,8 @@ class VcdTracer:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+#: Alias: the writer-flavoured name used in docs and by callers that
+#: treat the tracer as a generic context-managed file writer.
+VcdWriter = VcdTracer

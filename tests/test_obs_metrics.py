@@ -1,0 +1,211 @@
+"""Metrics registry semantics and the CAM/OCP/FIFO instrument wiring."""
+
+import json
+
+import pytest
+
+from repro.kernel import Fifo, ns
+from repro.obs import MetricsRegistry, watch_fifo
+from repro.obs.metrics import TimeWeightedGauge
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert reg.counter("c") is c     # get-or-create returns the same
+
+    def test_gauge_and_listener(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        seen = []
+        g.add_listener(lambda v, t: seen.append((v, t)))
+        g.set(0.5, 1000)
+        g.set(0.7)
+        assert g.value == 0.7
+        assert seen == [(0.5, 1000), (0.7, None)]
+
+    def test_histogram_moments(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (10.0, 20.0, 30.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(20.0)
+        snap = h.snapshot()
+        assert snap["min"] == 10.0
+        assert snap["max"] == 30.0
+        assert snap["total"] == pytest.approx(60.0)
+
+    def test_time_weighted_mean(self):
+        g = TimeWeightedGauge("occ")
+        fs = int(ns(1).femtoseconds)
+        g.set_at(0, 0)
+        g.set_at(1, 10 * fs)
+        g.set_at(0, 30 * fs)
+        # 0 for 10ns, 1 for 20ns, 0 for 10ns -> 20/40 over a 40ns window
+        assert g.mean(40 * fs) == pytest.approx(0.5)
+        assert g.minimum == 0
+        assert g.maximum == 1
+
+    def test_time_weighted_mean_extends_last_value(self):
+        g = TimeWeightedGauge("occ")
+        g.set_at(2, 0)
+        assert g.mean(100) == pytest.approx(2.0)
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_registry_container_protocol(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("b")
+        assert len(reg) == 2
+        assert "a" in reg
+        assert "missing" not in reg
+        assert reg.names() == ["a", "b"]
+        assert reg.get("missing") is None
+
+    def test_snapshot_is_json_able(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(0.25)
+        reg.histogram("h").observe(1.0)
+        reg.time_weighted("t").set_at(3, 0)
+        text = json.dumps(reg.snapshot(now_fs=1000))
+        assert "0.25" in text
+        path = tmp_path / "m.json"
+        reg.write_json(str(path), now_fs=1000)
+        assert json.loads(path.read_text())["c"]["value"] == 1
+
+
+class TestBusMetrics:
+    def _run_bus(self, ctx, top, registry):
+        from repro.cam.bus import GenericBus
+        from repro.cam.memory import MemorySlave
+        from repro.ocp.types import OcpCmd, OcpRequest
+
+        bus = GenericBus("bus", top, metrics=registry)
+        mem = MemorySlave("mem", top, size=4096)
+        bus.attach_slave(mem, 0, 4096)
+
+        def master(index):
+            socket = bus.master_socket(f"m{index}", priority=index)
+
+            def proc():
+                for i in range(8):
+                    request = OcpRequest(OcpCmd.WR, index * 256 + i * 4,
+                                         data=[i])
+                    response = yield from socket.transport(request)
+                    assert response.ok
+            return proc
+
+        for index in range(2):
+            top.add_thread(master(index), f"gen{index}")
+        ctx.run()
+        return bus
+
+    def test_bus_publishes_counters(self, ctx, top):
+        registry = MetricsRegistry()
+        bus = self._run_bus(ctx, top, registry)
+        base = f"bus.{bus.full_name}"
+        assert registry.get(f"{base}.transactions").value == 16
+        assert registry.get(f"{base}.transactions").value == \
+            bus.stats.transactions
+        assert registry.get(f"{base}.bytes").value == bus.stats.bytes
+        assert registry.get(f"{base}.errors").value == 0
+        assert registry.get(f"{base}.latency_ns").count == 16
+
+    def test_grants_match_transactions(self, ctx, top):
+        registry = MetricsRegistry()
+        bus = self._run_bus(ctx, top, registry)
+        base = f"bus.{bus.full_name}"
+        # every completed transaction was granted exactly once
+        assert registry.get(f"{base}.arbiter.grants").value == 16
+        # two masters submit together at t=0, so contention is observed
+        assert registry.get(f"{base}.arbiter.contended_requests").value > 0
+
+    def test_utilization_gauge_sampled(self, ctx, top):
+        registry = MetricsRegistry()
+        bus = self._run_bus(ctx, top, registry)
+        gauge = registry.get(f"bus.{bus.full_name}.utilization")
+        assert 0.0 < gauge.value <= 1.0
+
+    def test_bus_without_metrics_still_works(self, ctx, top):
+        bus = self._run_bus(ctx, top, None)
+        assert bus.metrics is None
+        assert bus.stats.transactions == 16
+
+
+class TestOcpMonitorMetrics:
+    @staticmethod
+    def _bundle(top):
+        from repro.kernel import Clock
+        from repro.ocp.pin import OcpPinBundle
+
+        clk = Clock("clk", top, period=ns(10))
+        return OcpPinBundle("pins", top, clock=clk)
+
+    def test_monitor_counters_live_in_registry(self, ctx, top):
+        from repro.ocp.monitor import OcpPinMonitor
+
+        registry = MetricsRegistry()
+        monitor = OcpPinMonitor("mon", top, bundle=self._bundle(top),
+                                metrics=registry)
+        base = f"ocp.{monitor.full_name}"
+        assert f"{base}.request_beats" in registry
+        assert monitor.metrics is registry
+        assert monitor.request_beats == 0
+
+    def test_monitor_gets_private_registry_by_default(self, ctx, top):
+        from repro.ocp.monitor import OcpPinMonitor
+
+        monitor = OcpPinMonitor("mon", top, bundle=self._bundle(top))
+        assert isinstance(monitor.metrics, MetricsRegistry)
+        assert monitor.report()["cycles"] == 0
+
+    def test_monitor_counts_flow_into_shared_registry(self, ctx, top):
+        """An observed run accumulates into the caller's registry."""
+        from repro.kernel import us
+        from repro.ocp.monitor import OcpPinMonitor
+
+        registry = MetricsRegistry()
+        monitor = OcpPinMonitor("mon", top, bundle=self._bundle(top),
+                                metrics=registry)
+        ctx.run(us(1))
+        base = f"ocp.{monitor.full_name}"
+        cycles = registry.get(f"{base}.cycles_observed").value
+        assert cycles > 0
+        assert monitor.cycles_observed == cycles
+        assert monitor.report()["cycles"] == cycles
+
+
+class TestFifoInstrument:
+    def test_occupancy_tracks_fifo_level(self, ctx, top):
+        fifo = Fifo("f", top, capacity=4)
+        registry = MetricsRegistry()
+        gauge = watch_fifo(fifo, registry)
+        assert gauge is registry.get(f"fifo.{fifo.full_name}.occupancy")
+
+        def producer():
+            for i in range(4):
+                yield from fifo.write(i)
+                yield ns(10)
+
+        def consumer():
+            yield ns(100)
+            for _ in range(4):
+                yield from fifo.read()
+
+        top.add_thread(producer, "p")
+        top.add_thread(consumer, "c")
+        ctx.run()
+        assert gauge.maximum >= 2       # producer ran ahead of consumer
+        assert gauge.value == 0          # drained at the end
+        assert gauge.mean(ctx._now_fs) > 0.0

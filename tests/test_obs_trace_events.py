@@ -1,0 +1,142 @@
+"""Chrome trace-event export: schema validity, pairing, counter tracks."""
+
+import collections
+import json
+
+from repro.kernel import Fifo, SimContext, ns
+from repro.obs import MetricsRegistry, TraceEventCollector, watch_fifo
+from repro.trace import TransactionRecorder
+
+
+def _run_workload(collector):
+    """Two threads plus a recorder feeding the collector."""
+    ctx = SimContext()
+    recorder = TransactionRecorder()
+    collector.attach_recorder(recorder)
+
+    def busy():
+        for i in range(5):
+            begin = ctx.now
+            yield ns(20)
+            recorder.record("bus", "read", "cpu", "mem", begin, ctx.now,
+                            nbytes=4)
+
+    def idle():
+        for _ in range(5):
+            yield ns(30)
+
+    ctx.register_thread(busy, "busy")
+    ctx.register_thread(idle, "idle")
+    ctx.attach_observer(collector)
+    ctx.run()
+    return ctx
+
+
+class TestTraceSchema:
+    def test_round_trips_through_json(self, tmp_path):
+        collector = TraceEventCollector()
+        _run_workload(collector)
+        path = tmp_path / "t.trace.json"
+        collector.write(str(path))
+        data = json.loads(path.read_text())
+        assert isinstance(data["traceEvents"], list)
+        assert data["traceEvents"]
+        assert data["displayTimeUnit"] == "ns"
+        for event in data["traceEvents"]:
+            assert "ph" in event
+            assert "ts" in event
+            assert event["ts"] >= 0
+
+    def test_timestamps_sorted(self):
+        collector = TraceEventCollector()
+        _run_workload(collector)
+        events = [e for e in collector.to_dict()["traceEvents"]
+                  if e["ph"] != "M"]
+        stamps = [e["ts"] for e in events]
+        assert stamps == sorted(stamps)
+
+    def test_begin_end_pairs_matched(self):
+        collector = TraceEventCollector()
+        _run_workload(collector)
+        depth = collections.Counter()
+        for event in collector.to_dict()["traceEvents"]:
+            key = (event.get("pid"), event.get("tid"))
+            if event["ph"] == "B":
+                depth[key] += 1
+            elif event["ph"] == "E":
+                depth[key] -= 1
+                assert depth[key] >= 0, "E without matching B"
+        assert all(v == 0 for v in depth.values())
+
+    def test_transaction_span_carries_args(self):
+        collector = TraceEventCollector()
+        _run_workload(collector)
+        begins = [e for e in collector.to_dict()["traceEvents"]
+                  if e["ph"] == "B"]
+        assert len(begins) == 5
+        assert begins[0]["args"]["initiator"] == "cpu"
+        assert begins[0]["args"]["nbytes"] == 4
+        # 1 trace us == 1 simulated ns: first read begins at t=0,
+        # second at 20ns.
+        assert begins[1]["ts"] == 20.0
+
+    def test_process_slices_have_nonnegative_duration(self):
+        collector = TraceEventCollector()
+        _run_workload(collector)
+        slices = [e for e in collector.to_dict()["traceEvents"]
+                  if e["ph"] == "X"]
+        assert slices, "kernel hooks produced no activation slices"
+        assert all(s["dur"] >= 0 for s in slices)
+        names = {s["name"] for s in slices}
+        assert {"busy", "idle"} <= names
+
+    def test_metadata_names_tracks(self):
+        collector = TraceEventCollector()
+        _run_workload(collector)
+        meta = [e for e in collector.to_dict()["traceEvents"]
+                if e["ph"] == "M"]
+        thread_names = {e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert {"busy", "idle", "bus"} <= thread_names
+        process_names = {e["args"]["name"] for e in meta
+                         if e["name"] == "process_name"}
+        assert "kernel processes" in process_names
+
+    def test_process_tracks_can_be_disabled(self):
+        collector = TraceEventCollector(process_tracks=False)
+        _run_workload(collector)
+        phases = {e["ph"] for e in collector.to_dict()["traceEvents"]}
+        assert "X" not in phases
+        assert "B" in phases      # channel spans still present
+
+
+class TestCounterTracks:
+    def test_watched_gauge_emits_counter_events(self, ctx, top):
+        collector = TraceEventCollector()
+        registry = MetricsRegistry()
+        fifo = Fifo("f", top, capacity=4)
+        gauge = watch_fifo(fifo, registry)
+        collector.watch_gauge(gauge)
+
+        def producer():
+            for i in range(3):
+                yield from fifo.write(i)
+                yield ns(10)
+
+        top.add_thread(producer, "p")
+        ctx.run()
+        counters = [e for e in collector.to_dict()["traceEvents"]
+                    if e["ph"] == "C"]
+        assert counters
+        name = f"fifo.{fifo.full_name}.occupancy"
+        assert counters[0]["name"] == name
+        values = [e["args"][name] for e in counters]
+        assert max(values) >= 1
+
+    def test_manual_span_and_counter(self):
+        collector = TraceEventCollector()
+        collector.add_span("chan", "xfer", 0, int(ns(5).femtoseconds),
+                           nbytes=8)
+        collector.add_counter("depth", 3, 0)
+        assert len(collector) == 3
+        json.dumps(collector.to_dict())

@@ -218,3 +218,94 @@ class TestVcdValueKinds:
         ctx.run()
         tracer.flush()
         assert "$var wire 16" in stream.getvalue()
+
+
+class TestRecorderStatsWithoutRecords:
+    def test_overall_latency_exact_with_keep_records_false(self):
+        rec = TransactionRecorder(keep_records=False)
+        rec.record("c", "read", "a", "b", ns(0), ns(10))
+        rec.record("c", "write", "a", "b", ns(0), ns(30))
+        overall = rec.latency_stats()
+        assert overall.count == 2
+        assert overall.mean_ns == pytest.approx(20.0)
+        assert rec.records == []
+
+    def test_metrics_accumulate_via_registry(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        rec = TransactionRecorder(keep_records=False, metrics=registry)
+        rec.record("c", "read", "a", "b", ns(0), ns(10), nbytes=8)
+        rec.record("c", "read", "a", "b", ns(0), ns(20), nbytes=8)
+        assert registry.get("trace.transactions").value == 2
+        assert registry.get("trace.bytes").value == 16
+        hist = registry.get("trace.latency_ns")
+        assert hist.count == 2
+        assert hist.mean == pytest.approx(15.0)
+
+    def test_metrics_prefix(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        rec = TransactionRecorder(metrics=registry, metrics_prefix="ship")
+        rec.record("c", "send", "a", "b", ns(0), ns(5))
+        assert registry.get("ship.transactions").value == 1
+
+    def test_clear_resets_overall_latency(self):
+        rec = TransactionRecorder(keep_records=False)
+        rec.record("c", "read", "a", "b", ns(0), ns(10))
+        rec.clear()
+        assert rec.latency_stats().count == 0
+
+
+class TestVcdWriterAlias:
+    def test_alias_is_the_tracer(self):
+        from repro.trace import VcdWriter
+
+        assert VcdWriter is VcdTracer
+
+    def test_context_manager_stamps_final_time(self, ctx, top):
+        from repro.trace import VcdWriter
+
+        stream = io.StringIO()
+        sig = Signal("s", top, init=0, check_writer=False)
+
+        with VcdWriter(stream, ctx, timescale="1ns") as writer:
+            writer.trace(sig, "s")
+
+            def driver():
+                yield ns(1)
+                sig.write(1)
+
+            ctx.register_thread(driver, "d")
+            ctx.run(ns(50))
+        # the change was dumped at #1; close() stamps the run end (#50)
+        text = stream.getvalue()
+        assert "#1\n" in text
+        assert text.rstrip().endswith("#50")
+
+    def test_close_idempotent(self, ctx, top):
+        stream = io.StringIO()
+        tracer = VcdTracer(stream, ctx)
+        sig = Signal("s", top, init=0, check_writer=False)
+        tracer.trace(sig, "s")
+
+        def driver():
+            yield ns(1)
+            sig.write(1)
+
+        ctx.register_thread(driver, "d")
+        ctx.run()
+        tracer.close()
+        size = len(stream.getvalue())
+        tracer.close()
+        assert len(stream.getvalue()) == size
+
+    def test_close_on_exception_path(self, ctx, top):
+        stream = io.StringIO()
+        sig = Signal("s", top, init=0, check_writer=False)
+        with pytest.raises(RuntimeError, match="boom"):
+            with VcdTracer(stream, ctx) as tracer:
+                tracer.trace(sig, "s")
+                raise RuntimeError("boom")
+        assert tracer._closed
