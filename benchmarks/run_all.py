@@ -268,6 +268,67 @@ def noop_hook_check() -> list:
     return failures
 
 
+def fault_off_check() -> list:
+    """Deterministic fault-machinery-off checks; returns failures.
+
+    Fault injection must be strictly opt-in and free when off: channels
+    and buses default to ``fault_injector = None``, and with no injector
+    attached no fault rule may ever be evaluated on the transfer paths.
+    The second property is enforced structurally — every
+    ``FaultRule.matches`` is replaced with a bomb for the duration of a
+    bus+SHIP workload — so it cannot be masked by wall-clock noise.
+    """
+    from repro.cam import GenericBus, MemorySlave
+    from repro.faults.plan import FaultRule
+    from repro.ocp import OcpCmd, OcpRequest
+    from repro.ship import ShipChannel, ShipInt
+
+    failures = []
+    ctx = SimContext()
+    top = Module("top", ctx=ctx)
+    chan = ShipChannel("chan", top)
+    bus = GenericBus("bus", top, clock_period=ns(10))
+    if chan.fault_injector is not None:
+        failures.append("ShipChannel constructs with a fault injector")
+    if bus.fault_injector is not None:
+        failures.append("BusCam constructs with a fault injector")
+
+    original = FaultRule.matches
+
+    def bomb(self, *args, **kwargs):
+        raise AssertionError("fault rule evaluated")
+
+    FaultRule.matches = bomb
+    try:
+        mem = MemorySlave("mem", top, size=4096)
+        bus.attach_slave(mem, 0, 4096)
+        sock = bus.master_socket("m0")
+        tx = chan.claim_end("tx")
+        rx = chan.claim_end("rx")
+
+        def master():
+            for i in range(20):
+                yield from sock.transport(
+                    OcpRequest(OcpCmd.WR, 0, data=[i], burst_length=1))
+                yield from chan.send(tx, ShipInt(i))
+
+        def sink():
+            while True:
+                yield from chan.recv(rx)
+
+        ctx.register_thread(master, "m")
+        ctx.register_thread(sink, "s")
+        try:
+            ctx.run()
+        except AssertionError:
+            failures.append(
+                "fault rule evaluated with no injector attached"
+            )
+    finally:
+        FaultRule.matches = original
+    return failures
+
+
 KERNEL_WORKLOADS = [
     ("timed_storm", timed_storm),
     ("timed_events", timed_events),
@@ -387,7 +448,7 @@ def main(argv=None) -> int:
     kernel = run_kernel_workloads(scale, args.repeat)
     e1 = run_e1_levels(args.repeat)
     obs = measure_obs_overhead(scale, args.repeat)
-    obs_failures = noop_hook_check()
+    obs_failures = noop_hook_check() + fault_off_check()
 
     baseline = {}
     if args.baseline.exists() and not args.quick:

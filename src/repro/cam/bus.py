@@ -274,6 +274,10 @@ class BusCam(Module):
             )
         else:
             self._m_grants = None
+        #: Optional bus fault injector (``repro.faults.BusFaultInjector``
+        #: duck type).  None keeps the bus on the fault-free path — the
+        #: only cost is one attribute test per arbitration round.
+        self.fault_injector = None
         self.slaves: List[SlaveBinding] = []
         self._pending: List[_BusTransaction] = []
         self._request_event = Event(self, f"{self.full_name}.request")
@@ -399,7 +403,14 @@ class BusCam(Module):
                 yield align
             if not self._pending:
                 continue
-            txn = self.arbiter.pick(self._pending, self.current_cycle)
+            inj = self.fault_injector
+            candidates = self._pending
+            if inj is not None:
+                candidates = inj.arbitration_candidates(self, self._pending)
+                if not candidates:  # every requester starved: idle cycle
+                    yield period
+                    continue
+            txn = self.arbiter.pick(candidates, self.current_cycle)
             if txn is None:  # strict TDMA: idle slot
                 yield period
                 continue
@@ -409,7 +420,15 @@ class BusCam(Module):
                     self._m_contended.inc(len(self._pending) - 1)
             self._pending.remove(txn)
             request = txn.request
+            if inj is not None and inj.force_error(self, request):
+                yield period * timing.cmd_cycles
+                self._complete(txn, OcpResponse.error(), data_cycles=0,
+                               channel="fault-injected")
+                continue
             binding = self.decode(request.addr, request.nbytes)
+            if (binding is not None and inj is not None
+                    and inj.decode_miss(self, request)):
+                binding = None
             if binding is None:
                 yield period * timing.cmd_cycles
                 self._complete(txn, OcpResponse.error(), data_cycles=0,

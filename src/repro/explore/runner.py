@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.kernel.context import SimContext
 from repro.kernel.module import Module
@@ -41,6 +41,30 @@ class MasterMetrics:
 
 
 @dataclass
+class FaultSpec:
+    """Fault rates for one exploration point (``run_point(faults=...)``).
+
+    Translated into a seeded :class:`repro.faults.FaultPlan` plus
+    injectors on the point's private fabric and memories, so a sweep can
+    vary fault pressure exactly like any other architecture parameter.
+    """
+
+    seed: int = 1
+    bus_error_rate: float = 0.0
+    decode_miss_rate: float = 0.0
+    mem_flip_period: Optional[SimTime] = None
+
+    @property
+    def active(self) -> bool:
+        """True when any fault kind is enabled."""
+        return bool(
+            self.bus_error_rate
+            or self.decode_miss_rate
+            or self.mem_flip_period is not None
+        )
+
+
+@dataclass
 class ExplorationResult:
     """All metrics for one design point."""
 
@@ -51,6 +75,8 @@ class ExplorationResult:
     wall_seconds: float
     utilization: float
     total_bytes: int
+    #: the point's FaultPlan when run with ``faults=``, else None
+    fault_plan: Optional[object] = None
 
     @property
     def mean_latency_ns(self) -> float:
@@ -134,19 +160,42 @@ def run_point(
     memory_write_wait: int = 1,
     metrics=None,
     observer=None,
+    faults: Optional[FaultSpec] = None,
 ) -> ExplorationResult:
     """Simulate one design point to workload completion.
 
     ``metrics`` (a :class:`repro.obs.MetricsRegistry`) and ``observer``
     (a :class:`repro.obs.SimObserver`) instrument this point's private
     simulation — profile or trace a single design point without
-    slowing the rest of the sweep.
+    slowing the rest of the sweep.  ``faults`` (a :class:`FaultSpec`)
+    injects seeded bus errors, decode misses and memory bit flips into
+    this point; the resulting ``repro.faults.FaultPlan`` rides back on
+    :attr:`ExplorationResult.fault_plan`.
     """
     ctx = SimContext(name=f"explore_{config.name}")
     top = Module("top", ctx=ctx)
     fabric = build_fabric(config, top, specs, metrics=metrics)
     if observer is not None:
         ctx.attach_observer(observer)
+    fault_plan = None
+    if faults is not None and faults.active:
+        from repro.faults import (
+            BusFaultInjector,
+            FaultPlan,
+            FaultRule,
+            MemoryFaultInjector,
+        )
+
+        fault_plan = FaultPlan(seed=faults.seed, metrics=metrics)
+        if ((faults.bus_error_rate or faults.decode_miss_rate)
+                and hasattr(fabric, "fault_injector")):
+            fabric.fault_injector = BusFaultInjector(
+                fault_plan,
+                error=(FaultRule(probability=faults.bus_error_rate)
+                       if faults.bus_error_rate else None),
+                decode=(FaultRule(probability=faults.decode_miss_rate)
+                        if faults.decode_miss_rate else None),
+            )
     # One memory per distinct address region.  Disjoint regions give the
     # crossbar its concurrency opportunity; masters sharing a region
     # (the "contended" workload) share one slave, which is where
@@ -161,6 +210,11 @@ def run_point(
             read_wait=memory_read_wait, write_wait=memory_write_wait,
         )
         fabric.attach_slave(memory, base, size)
+        if fault_plan is not None and faults.mem_flip_period is not None:
+            MemoryFaultInjector(
+                f"seu{i}", top, memory=memory, plan=fault_plan,
+                period=faults.mem_flip_period,
+            )
     masters = []
     for spec in specs:
         effective = spec
@@ -204,6 +258,7 @@ def run_point(
         wall_seconds=wall,
         utilization=fabric.utilization(until=end),
         total_bytes=sum(m.bytes_done for m in metrics),
+        fault_plan=fault_plan,
     )
 
 

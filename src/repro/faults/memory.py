@@ -1,0 +1,85 @@
+"""Memory faults: seeded bit flips in a :class:`MemorySlave`.
+
+:class:`MemoryFaultInjector` is a small module-like object that runs its
+own thread: every ``period`` of simulated time it flips one random bit
+of one random word in the target memory, drawing word index and bit
+position from the campaign's :class:`~repro.faults.plan.FaultPlan` RNG —
+the classic soft-error (SEU) model.  Flips hit the backing store
+directly, so a flipped word is only *observed* when something later
+reads it; that separation (injection log vs. observed corruption) is
+deliberate.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.kernel.errors import SimulationError
+from repro.kernel.object import SimObject
+from repro.kernel.simtime import SimTime
+from repro.faults.plan import FaultPlan
+
+
+class MemoryFaultInjector(SimObject):
+    """Periodically flips one bit in a memory's backing store.
+
+    Parameters
+    ----------
+    memory:
+        The :class:`~repro.cam.memory.MemorySlave` to disturb.
+    plan:
+        The campaign's :class:`FaultPlan` (RNG + log).
+    period:
+        Simulated time between flips (must be positive).
+    max_flips:
+        Stop after this many flips; None = flip until the run ends.
+    """
+
+    def __init__(
+        self,
+        name,
+        parent=None,
+        ctx=None,
+        memory=None,
+        plan: FaultPlan = None,
+        period: SimTime = None,
+        max_flips: Optional[int] = None,
+    ):
+        super().__init__(name, parent, ctx)
+        if memory is None or plan is None:
+            raise SimulationError(
+                f"memory fault injector {name!r}: memory and plan are "
+                f"required"
+            )
+        if period is None or period._fs <= 0:
+            raise SimulationError(
+                f"memory fault injector {name!r}: period must be a "
+                f"positive SimTime"
+            )
+        self.memory = memory
+        self.plan = plan
+        self.period = period
+        self.max_flips = max_flips
+        self.flips = 0
+        self.ctx.register_thread(self._run, f"{self.full_name}.flip")
+
+    def flip_one(self) -> None:
+        """Flip one random bit of one random word right now."""
+        mem = self.memory
+        rng = self.plan.rng
+        index = rng.randrange(mem.size // mem.word_bytes)
+        bit = rng.randrange(8 * mem.word_bytes)
+        old = mem._words.get(index, 0)
+        new = (old ^ (1 << bit)) & mem._word_mask
+        mem._words[index] = new
+        self.flips += 1
+        self.plan.record(
+            "mem.bit_flip", self.ctx._now_fs,
+            f"{mem.full_name}: word {index} bit {bit} "
+            f"{old:#x} -> {new:#x}",
+        )
+
+    def _run(self) -> Generator:
+        while self.max_flips is None or self.flips < self.max_flips:
+            yield self.period
+            self.flip_one()

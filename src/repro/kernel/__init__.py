@@ -37,8 +37,10 @@ from repro.kernel.errors import (
     ElaborationError,
     KernelError,
     ProcessError,
+    SimTimeoutError,
     SimulationError,
     TimeError,
+    WatchdogError,
 )
 from repro.kernel.event import Event, all_of, any_of
 from repro.kernel.event_queue import EventQueue
@@ -65,7 +67,13 @@ from repro.kernel.simtime import (
     sec,
     us,
 )
-from repro.kernel.sync import Mutex, Semaphore
+from repro.kernel.sync import (
+    Mutex,
+    Semaphore,
+    wait_with_timeout,
+    with_timeout,
+)
+from repro.kernel.watchdog import SimWatchdog
 
 __all__ = [
     "BindingError",
@@ -96,9 +104,12 @@ __all__ = [
     "SimContext",
     "SimObject",
     "SimTime",
+    "SimTimeoutError",
+    "SimWatchdog",
     "SimulationError",
     "ThreadProcess",
     "TimeError",
+    "WatchdogError",
     "ZERO_TIME",
     "all_of",
     "any_of",
@@ -112,4 +123,6 @@ __all__ = [
     "thread_process",
     "us",
     "wait",
+    "wait_with_timeout",
+    "with_timeout",
 ]

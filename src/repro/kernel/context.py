@@ -100,6 +100,9 @@ class SimContext:
         self._pending_sensitivity: List = []
 
         self.current_process: Optional[Process] = None
+        #: Why the most recent ``run`` ended: None (never ran) or one of
+        #: ``"stopped"`` / ``"starved"`` / ``"limit"`` / ``"failed"``.
+        self.last_run_outcome: Optional[str] = None
         #: Instrumentation observer (see ``repro.obs.hooks``); None keeps
         #: the scheduler on the hook-free fast path.
         self._obs = None
@@ -404,10 +407,26 @@ class SimContext:
         finally:
             self._running = False
         if self._failure is not None:
+            self.last_run_outcome = "failed"
             failure, self._failure = self._failure, None
             raise failure
-        if (limit_fs is not None and self._now_fs < limit_fs
-                and not self._stop_requested):
+        starved = (not self._stop_requested
+                   and (limit_fs is None or self._now_fs < limit_fs))
+        if self._stop_requested:
+            self.last_run_outcome = "stopped"
+        elif starved:
+            self.last_run_outcome = "starved"
+        else:
+            self.last_run_outcome = "limit"
+        if starved and self._obs is not None:
+            # Starvation with processes still blocked is the normal end
+            # of most finite workloads, so this is never printed
+            # unsolicited — but an attached observer is told, turning a
+            # silent hang into an inspectable record.
+            hook = getattr(self._obs, "on_run_starved", None)
+            if hook is not None:
+                hook(self, self.blocked_processes(), self._now_fs)
+        if starved and limit_fs is not None and self._now_fs < limit_fs:
             # Starved before the limit: time still advances to the limit so
             # that consecutive run() calls compose predictably.
             self._now_fs = limit_fs
@@ -632,6 +651,58 @@ class SimContext:
             if e[ENTRY_KIND] != KIND_CANCELLED
         ]
         return SimTime._from_fs(min(live)) if live else None
+
+    def blocked_processes(self) -> List[tuple]:
+        """Every WAITING process with a description of its wait.
+
+        Returns ``[(process, description), ...]`` where the description
+        names the events (and therefore the owning channel/FIFO, whose
+        full name each event carries) or the pending timeout the process
+        is suspended on.  This is what the starvation report and the
+        watchdog print, so "the sim just returned" becomes "rx is
+        blocked on top.fifo.data_written".
+        """
+        out = []
+        for proc in self.processes:
+            if proc.state is ProcessState.WAITING:
+                out.append((proc, self.describe_wait(proc)))
+        return out
+
+    def describe_wait(self, proc: Process) -> str:
+        """Human-readable description of what ``proc`` is waiting on."""
+        if proc._waiting_static:
+            names = ", ".join(ev.name for ev in proc.static_sensitivity)
+            return f"static sensitivity [{names or 'empty'}]"
+        parts = []
+        if proc._pending_all:
+            names = ", ".join(sorted(ev.name for ev in proc._pending_all))
+            parts.append(f"all of [{names}]")
+        elif proc._wait_events:
+            names = ", ".join(ev.name for ev in proc._wait_events)
+            parts.append(f"event [{names}]")
+        handle = proc._timeout_handle
+        if handle is not None:
+            when = SimTime._from_fs(handle[ENTRY_WHEN_FS])
+            parts.append(f"timeout at {when}")
+        return " or ".join(parts) if parts else "nothing (suspended)"
+
+    def starvation_report(self) -> str:
+        """Multi-line report of every blocked process and its wait.
+
+        Meaningful after a run that ended ``"starved"`` (see
+        :attr:`last_run_outcome`) or from a watchdog: explains *why*
+        the simulation stopped making progress.
+        """
+        blocked = self.blocked_processes()
+        header = (
+            f"simulation {self.name!r} at {self._now} "
+            f"(outcome: {self.last_run_outcome or 'not run'}): "
+            f"{len(blocked)} blocked process(es)"
+        )
+        lines = [header]
+        for proc, desc in blocked:
+            lines.append(f"  - {proc.name} [{proc.kind}] waiting on {desc}")
+        return "\n".join(lines)
 
     def __repr__(self) -> str:
         return (

@@ -23,6 +23,23 @@ class SimulationError(KernelError):
     """Raised for illegal actions while the simulation is running."""
 
 
+class SimTimeoutError(SimulationError):
+    """Raised when a blocking operation's deadline expires.
+
+    All timeout-capable primitives (``Fifo`` reads/writes, SHIP calls,
+    :func:`~repro.kernel.sync.with_timeout`) raise this or a subclass, so
+    resilience code can catch every "gave up waiting" condition at once.
+    """
+
+
+class WatchdogError(SimulationError):
+    """Raised when a :class:`~repro.kernel.watchdog.SimWatchdog` fires.
+
+    The message carries the watchdog's hang report: every still-blocked
+    process and what it was waiting on when progress stopped.
+    """
+
+
 class ProcessError(SimulationError):
     """Raised for misuse of process primitives.
 

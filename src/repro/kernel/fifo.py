@@ -12,10 +12,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Generator, Generic, Optional, Tuple, TypeVar
 
-from repro.kernel.errors import SimulationError
+from repro.kernel.errors import SimTimeoutError, SimulationError
 from repro.kernel.event import Event
 from repro.kernel.object import SimObject
 from repro.kernel.port import Port
+from repro.kernel.simtime import SimTime
+from repro.kernel.sync import wait_with_timeout
 
 T = TypeVar("T")
 
@@ -85,23 +87,73 @@ class Fifo(SimObject, Generic[T]):
 
     # -- blocking interface -------------------------------------------------------
 
-    def write(self, item: T) -> Generator:
-        """Blocking write: suspends while the FIFO is full."""
-        while not self.nb_write(item):
-            yield self._data_read
+    def write(self, item: T, timeout: Optional[SimTime] = None) -> Generator:
+        """Blocking write: suspends while the FIFO is full.
 
-    def read(self) -> Generator:
+        With ``timeout`` given, raises
+        :class:`~repro.kernel.errors.SimTimeoutError` if no slot frees
+        up within that much simulated time; a write that completes
+        exactly at the deadline succeeds.
+        """
+        if timeout is None:
+            while not self.nb_write(item):
+                yield self._data_read
+            return
+        deadline_fs = self.ctx._now_fs + timeout._fs
+        while not self.nb_write(item):
+            remaining_fs = deadline_fs - self.ctx._now_fs
+            if remaining_fs > 0:
+                timed_out = yield from wait_with_timeout(
+                    self._data_read, SimTime._from_fs(remaining_fs)
+                )
+                if not timed_out:
+                    continue
+                if self.nb_write(item):  # space freed at the deadline
+                    return
+            raise SimTimeoutError(
+                f"fifo {self.full_name}: write timed out after {timeout}"
+            )
+
+    def read(self, timeout: Optional[SimTime] = None) -> Generator:
         """Blocking read: suspends while the FIFO is empty.
 
         Returns the item read (via the generator's return value)::
 
             item = yield from fifo.read()
+
+        With ``timeout`` given, raises
+        :class:`~repro.kernel.errors.SimTimeoutError` if no item arrives
+        within that much simulated time; an item that becomes readable
+        exactly at the deadline is returned.
         """
+        if timeout is None:
+            while True:
+                ok, item = self.nb_read()
+                if ok:
+                    return item
+                yield self._data_written
+        deadline_fs = self.ctx._now_fs + timeout._fs
         while True:
             ok, item = self.nb_read()
             if ok:
                 return item
-            yield self._data_written
+            remaining_fs = deadline_fs - self.ctx._now_fs
+            if remaining_fs > 0:
+                timed_out = yield from wait_with_timeout(
+                    self._data_written, SimTime._from_fs(remaining_fs)
+                )
+                if not timed_out:
+                    continue
+                ok, item = self.nb_read()  # data arrived at the deadline
+                if ok:
+                    return item
+            raise SimTimeoutError(
+                f"fifo {self.full_name}: read timed out after {timeout}"
+            )
+
+    #: ``put``/``get`` aliases for callers using queue vocabulary.
+    put = write
+    get = read
 
     # -- update phase -------------------------------------------------------------
 
@@ -156,9 +208,9 @@ class FifoIn(Port):
     def __init__(self, name, parent=None, ctx=None, required: bool = True):
         super().__init__(name, parent, ctx, iface_type=Fifo, required=required)
 
-    def read(self) -> Generator:
-        """Blocking read through the port."""
-        return (yield from self.channel.read())
+    def read(self, timeout: Optional[SimTime] = None) -> Generator:
+        """Blocking read through the port (optionally with a timeout)."""
+        return (yield from self.channel.read(timeout=timeout))
 
     def nb_read(self):
         """Non-blocking read; returns ``(ok, item)``."""
@@ -180,9 +232,9 @@ class FifoOut(Port):
     def __init__(self, name, parent=None, ctx=None, required: bool = True):
         super().__init__(name, parent, ctx, iface_type=Fifo, required=required)
 
-    def write(self, item) -> Generator:
-        """Blocking write through the port."""
-        yield from self.channel.write(item)
+    def write(self, item, timeout: Optional[SimTime] = None) -> Generator:
+        """Blocking write through the port (optionally with a timeout)."""
+        yield from self.channel.write(item, timeout=timeout)
 
     def nb_write(self, item) -> bool:
         """Non-blocking write; False when full."""

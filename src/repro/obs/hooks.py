@@ -23,6 +23,8 @@ hook                       fired
 ``on_update_phase``        once per update phase (with the channel count)
 ``on_delta_cycle``         each time the delta counter advances
 ``on_time_advance``        when simulated time moves forward
+``on_run_starved``         a ``run`` ended by event starvation (once,
+                           from the run epilogue — not the hot loop)
 =========================  ==================================================
 """
 
@@ -68,6 +70,14 @@ class SimObserver:
     def on_time_advance(self, now_fs: int) -> None:
         """Called when simulated time advances to ``now_fs``."""
 
+    def on_run_starved(self, context, blocked, now_fs: int) -> None:
+        """Called once when a ``run`` ends by event starvation.
+
+        ``blocked`` is ``context.blocked_processes()`` — every process
+        still WAITING and a description of its wait.  Fired from the run
+        epilogue, never from the scheduler hot loop.
+        """
+
 
 class ObserverGroup(SimObserver):
     """Fans every hook out to a tuple of child observers.
@@ -112,6 +122,11 @@ class ObserverGroup(SimObserver):
         for obs in self.observers:
             obs.on_time_advance(now_fs)
 
+    def on_run_starved(self, context, blocked, now_fs: int) -> None:
+        """Fan out to every child observer."""
+        for obs in self.observers:
+            obs.on_run_starved(context, blocked, now_fs)
+
 
 class CountingObserver(SimObserver):
     """Counts hook invocations; the no-op/instrumentation-off tests and
@@ -124,6 +139,8 @@ class CountingObserver(SimObserver):
         "update_phases",
         "delta_cycles",
         "time_advances",
+        "run_starvations",
+        "last_blocked",
     )
 
     def __init__(self):
@@ -133,6 +150,8 @@ class CountingObserver(SimObserver):
         self.update_phases = 0
         self.delta_cycles = 0
         self.time_advances = 0
+        self.run_starvations = 0
+        self.last_blocked = ()
 
     def on_process_activate(self, process, now_fs: int) -> None:
         """Count one activation."""
@@ -158,6 +177,11 @@ class CountingObserver(SimObserver):
     def on_time_advance(self, now_fs: int) -> None:
         """Count one time advance."""
         self.time_advances += 1
+
+    def on_run_starved(self, context, blocked, now_fs: int) -> None:
+        """Count one starved run end and keep the blocked snapshot."""
+        self.run_starvations += 1
+        self.last_blocked = tuple(blocked)
 
     @property
     def total(self) -> int:

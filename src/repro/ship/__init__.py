@@ -13,7 +13,12 @@ HW/SW partitioning.  The package provides:
 * automatic master/slave detection (:mod:`repro.ship.roles`).
 """
 
-from repro.ship.channel import ShipChannel, ShipEnd, ShipTiming
+from repro.ship.channel import (
+    ShipChannel,
+    ShipEnd,
+    ShipTimeoutError,
+    ShipTiming,
+)
 from repro.ship.ports import ShipMasterPort, ShipPort, ShipSlavePort
 from repro.ship.roles import (
     ALL_CALLS,
@@ -57,6 +62,7 @@ __all__ = [
     "ShipSerializable",
     "ShipSlavePort",
     "ShipString",
+    "ShipTimeoutError",
     "ShipTiming",
     "classify",
     "clear_user_registry",

@@ -7,6 +7,7 @@ from repro.kernel import (
     FifoIn,
     FifoOut,
     Module,
+    SimTimeoutError,
     SimulationError,
     ns,
 )
@@ -207,3 +208,100 @@ class TestDeterministicVisibility:
         ctx.register_thread(reader, "r")
         ctx.run()
         assert result == [False]
+
+
+class TestTimeouts:
+    def test_read_timeout_expires_on_empty_fifo(self, ctx, top):
+        fifo = Fifo("f", top)
+        out = []
+
+        def reader():
+            try:
+                yield from fifo.read(timeout=ns(100))
+            except SimTimeoutError as exc:
+                out.append((str(exc), ctx.now))
+
+        ctx.register_thread(reader, "r")
+        ctx.run()
+        assert len(out) == 1
+        assert "read timed out" in out[0][0]
+        assert out[0][1] == ns(100)
+
+    def test_read_completes_before_timeout(self, ctx, top):
+        fifo = Fifo("f", top)
+        out = []
+
+        def reader():
+            item = yield from fifo.read(timeout=ns(100))
+            out.append((item, ctx.now))
+
+        def writer():
+            yield ns(30)
+            yield from fifo.write(7)
+
+        ctx.register_thread(reader, "r")
+        ctx.register_thread(writer, "w")
+        ctx.run()
+        assert out[0][0] == 7
+        assert out[0][1] < ns(100)
+
+    def test_write_timeout_expires_on_full_fifo(self, ctx, top):
+        fifo = Fifo("f", top, capacity=1)
+        out = []
+
+        def writer():
+            yield from fifo.write(1)
+            try:
+                yield from fifo.write(2, timeout=ns(50))
+            except SimTimeoutError:
+                out.append(ctx.now)
+
+        ctx.register_thread(writer, "w")
+        ctx.run()
+        assert out == [ns(50)]
+
+    def test_write_completes_when_space_frees_in_time(self, ctx, top):
+        fifo = Fifo("f", top, capacity=1)
+        order = []
+
+        def writer():
+            yield from fifo.write(1)
+            yield from fifo.write(2, timeout=ns(100))
+            order.append(("wrote", ctx.now))
+
+        def reader():
+            yield ns(20)
+            item = yield from fifo.read()
+            order.append(("read", item))
+
+        ctx.register_thread(writer, "w")
+        ctx.register_thread(reader, "r")
+        ctx.run()
+        assert ("read", 1) in order
+        wrote = [t for kind, t in order if kind == "wrote"]
+        assert wrote and wrote[0] < ns(100)
+
+    def test_port_passthrough_and_aliases(self, ctx, top):
+        fifo = Fifo("f", top, capacity=1)
+
+        class Consumer(Module):
+            def __init__(self, name, parent):
+                super().__init__(name, parent)
+                self.inp = FifoIn("in", self)
+                self.timeouts = 0
+                self.add_thread(self.run)
+
+            def run(self):
+                """Read through the port with an expiring timeout."""
+                try:
+                    yield from self.inp.read(timeout=ns(40))
+                except SimTimeoutError:
+                    self.timeouts += 1
+
+        consumer = Consumer("c", top)
+        consumer.inp.bind(fifo)
+        ctx.run()
+        assert consumer.timeouts == 1
+        # queue-vocabulary aliases resolve to the blocking methods
+        assert Fifo.put is Fifo.write
+        assert Fifo.get is Fifo.read
