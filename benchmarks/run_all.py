@@ -36,6 +36,7 @@ import platform
 import sys
 import time
 from pathlib import Path
+from typing import Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -329,6 +330,122 @@ def fault_off_check() -> list:
     return failures
 
 
+# ---------------------------------------------------------------------------
+# Design-space sweep experiment (E3 space, parallel vs serial, cache).
+# ---------------------------------------------------------------------------
+
+#: Worker processes the parallel sweep measurement uses.
+SWEEP_WORKERS = 4
+
+
+def _sweep_space_and_specs(scale: float):
+    """The E3 benchmark space and (scaled) workload the sweep runs."""
+    from repro.explore import DesignSpace, standard_workloads
+
+    space = DesignSpace(
+        fabrics=("plb", "opb", "ahb", "generic", "crossbar"),
+        arbiters=("static-priority", "round-robin"),
+        clock_periods=(ns(10),),
+        max_bursts=(16,),
+    )
+    specs = [s.scaled(scale) for s in standard_workloads()["mixed"]]
+    return space, specs
+
+
+def _det_row(result) -> tuple:
+    """Simulation-derived fields only — wall clock excluded."""
+    return (
+        result.config.name, result.workload, result.mean_latency_ns,
+        result.throughput_mbps, result.utilization, result.sim_time_ns,
+        result.total_bytes,
+    )
+
+
+def measure_sweep(scale: float, repeats: int):
+    """Parallel-vs-serial sweep speedup on the E3 space; returns
+    ``(record, failures)``.
+
+    Times the legacy serial :func:`repro.explore.explore` loop against
+    :class:`repro.sweep.SweepEngine` with ``SWEEP_WORKERS`` workers over
+    the same points (best of N each), then runs the space twice against
+    a fresh on-disk cache to time warm-cache exploration.  Three
+    deterministic gates run in every mode: engine results must equal
+    the serial loop's bit-for-bit, the second cached run must hit for
+    100% of points, and cached results must equal computed ones.
+    """
+    import tempfile
+
+    from repro.explore import explore
+    from repro.sweep import SweepEngine, SweepStore, points_for_space
+
+    space, specs = _sweep_space_and_specs(scale)
+    points = points_for_space(space, specs, workload="mixed")
+    failures = []
+
+    best_serial = None
+    serial_results = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = explore(space, specs, workload_name="mixed")
+        wall = time.perf_counter() - start
+        if best_serial is None or wall < best_serial:
+            best_serial, serial_results = wall, results
+
+    engine = SweepEngine(workers=SWEEP_WORKERS)
+    best_parallel = None
+    parallel_outcomes = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        outcomes = engine.run(points)
+        wall = time.perf_counter() - start
+        if best_parallel is None or wall < best_parallel:
+            best_parallel, parallel_outcomes = wall, outcomes
+
+    serial_rows = [_det_row(r) for r in serial_results]
+    parallel_rows = [_det_row(o.result) for o in parallel_outcomes]
+    if serial_rows != parallel_rows:
+        failures.append(
+            "parallel sweep results differ from the serial explore() "
+            "loop"
+        )
+
+    with tempfile.TemporaryDirectory(prefix="bench_sweep_") as cache_dir:
+        cached_engine = SweepEngine(workers=SWEEP_WORKERS,
+                                    store=SweepStore(cache_dir))
+        cold_outcomes = cached_engine.run(points)
+        start = time.perf_counter()
+        warm_outcomes = cached_engine.run(points)
+        warm_wall = time.perf_counter() - start
+        hit_rate = (cached_engine.last_cached / len(points)
+                    if points else 0.0)
+        if hit_rate < 1.0:
+            failures.append(
+                f"warm-cache sweep re-simulated "
+                f"{cached_engine.last_computed} of {len(points)} points"
+            )
+        if ([_det_row(o.result) for o in warm_outcomes]
+                != [_det_row(o.result) for o in cold_outcomes]):
+            failures.append(
+                "cached sweep results differ from computed ones"
+            )
+
+    record = {
+        "points": len(points),
+        "workers": SWEEP_WORKERS,
+        "cpus": len(os.sched_getaffinity(0)) if hasattr(
+            os, "sched_getaffinity") else (os.cpu_count() or 1),
+        "serial_wall_s": round(best_serial, 5),
+        "parallel_wall_s": round(best_parallel, 5),
+        "speedup_vs_serial": round(best_serial / best_parallel, 2)
+        if best_parallel > 0 else float("inf"),
+        "parallel_points_per_s": round(len(points) / best_parallel, 2)
+        if best_parallel > 0 else float("inf"),
+        "warm_cache_wall_s": round(warm_wall, 5),
+        "cache_hit_rate": hit_rate,
+    }
+    return record, failures
+
+
 KERNEL_WORKLOADS = [
     ("timed_storm", timed_storm),
     ("timed_events", timed_events),
@@ -379,9 +496,17 @@ def run_e1_levels(repeats: int) -> dict:
 # Baseline comparison
 # ---------------------------------------------------------------------------
 
-def compare(kernel: dict, e1: dict, baseline: dict):
+def compare(kernel: dict, e1: dict, baseline: dict,
+            sweep: Optional[dict] = None):
     """Annotate results with speedups; return the list of regressions."""
     regressions = []
+    base_sweep_rate = baseline.get("sweep_points_per_s")
+    if sweep and base_sweep_rate:
+        ratio = sweep["parallel_points_per_s"] / base_sweep_rate
+        sweep["baseline_points_per_s"] = base_sweep_rate
+        sweep["vs_baseline"] = round(ratio, 2)
+        if ratio < 1.0 - REGRESSION_TOLERANCE:
+            regressions.append(("sweep/parallel_points_per_s", ratio))
     base_rates = baseline.get("kernel_rate_per_s", {})
     for name, row in kernel.items():
         base = base_rates.get(name)
@@ -448,12 +573,14 @@ def main(argv=None) -> int:
     kernel = run_kernel_workloads(scale, args.repeat)
     e1 = run_e1_levels(args.repeat)
     obs = measure_obs_overhead(scale, args.repeat)
-    obs_failures = noop_hook_check() + fault_off_check()
+    sweep, sweep_failures = measure_sweep(scale, args.repeat)
+    obs_failures = (noop_hook_check() + fault_off_check()
+                    + sweep_failures)
 
     baseline = {}
     if args.baseline.exists() and not args.quick:
         baseline = json.loads(args.baseline.read_text())
-    regressions = compare(kernel, e1, baseline)
+    regressions = compare(kernel, e1, baseline, sweep=sweep)
     base_obs_off = baseline.get("obs_off_rate_per_s")
     if base_obs_off:
         obs["baseline_off_rate_per_s"] = base_obs_off
@@ -471,12 +598,20 @@ def main(argv=None) -> int:
         "kernel": kernel,
         "e1": e1,
         "obs": obs,
+        "sweep": sweep,
     }
     args.output.write_text(json.dumps(record, indent=1) + "\n")
     print_report(kernel, e1)
     print(f"\nobs overhead: off {obs['off_rate_per_s']}/s, "
           f"on {obs['on_rate_per_s']}/s "
           f"(ratio {obs['on_off_ratio']:.3f})")
+    print(f"sweep: {sweep['points']} points — serial "
+          f"{sweep['serial_wall_s'] * 1e3:.0f}ms, parallel "
+          f"{sweep['parallel_wall_s'] * 1e3:.0f}ms with "
+          f"{sweep['workers']} workers on {sweep['cpus']} cpu(s) "
+          f"(x{sweep['speedup_vs_serial']:.2f}), warm cache "
+          f"{sweep['warm_cache_wall_s'] * 1e3:.1f}ms at "
+          f"{sweep['cache_hit_rate']:.0%} hits")
     print(f"wrote {args.output}")
 
     if obs_failures:
@@ -499,6 +634,7 @@ def main(argv=None) -> int:
                 name: row["wall_s"] for name, row in e1.items()
             },
             "obs_off_rate_per_s": obs["off_rate_per_s"],
+            "sweep_points_per_s": sweep["parallel_points_per_s"],
         }
         args.baseline.write_text(json.dumps(new_baseline, indent=2) + "\n")
         print(f"re-recorded baseline at {args.baseline}")

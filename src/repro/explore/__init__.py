@@ -6,7 +6,10 @@ loop, and Pareto analysis, powering the exploration experiment (E3).
 
 from repro.explore.runner import (
     ExplorationResult,
+    FaultSpec,
+    FaultSummary,
     MasterMetrics,
+    PointResult,
     build_fabric,
     explore,
     format_table,
@@ -33,7 +36,10 @@ __all__ = [
     "DesignSpace",
     "ExplorationResult",
     "FABRICS",
+    "FaultSpec",
+    "FaultSummary",
     "MasterMetrics",
+    "PointResult",
     "MasterTrafficSpec",
     "PATTERNS",
     "TrafficMaster",

@@ -39,6 +39,29 @@ class MasterMetrics:
     mean_latency_ns: float
     max_latency_ns: float
 
+    def to_dict(self) -> dict:
+        """JSON-able dict of every field."""
+        return {
+            "name": self.name,
+            "completed": self.completed,
+            "errors": self.errors,
+            "bytes_done": self.bytes_done,
+            "mean_latency_ns": self.mean_latency_ns,
+            "max_latency_ns": self.max_latency_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MasterMetrics":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            completed=data["completed"],
+            errors=data["errors"],
+            bytes_done=data["bytes_done"],
+            mean_latency_ns=data["mean_latency_ns"],
+            max_latency_ns=data["max_latency_ns"],
+        )
+
 
 @dataclass
 class FaultSpec:
@@ -61,6 +84,73 @@ class FaultSpec:
             self.bus_error_rate
             or self.decode_miss_rate
             or self.mem_flip_period is not None
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able dict (``mem_flip_period`` as integer fs or None)."""
+        return {
+            "seed": self.seed,
+            "bus_error_rate": self.bus_error_rate,
+            "decode_miss_rate": self.decode_miss_rate,
+            "mem_flip_period_fs": (
+                None if self.mem_flip_period is None
+                else self.mem_flip_period.femtoseconds
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        period_fs = data.get("mem_flip_period_fs")
+        return cls(
+            seed=data["seed"],
+            bus_error_rate=data["bus_error_rate"],
+            decode_miss_rate=data["decode_miss_rate"],
+            mem_flip_period=None if period_fs is None
+            else SimTime(period_fs),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSummary:
+    """Serializable read-only view of a point's fault activity.
+
+    A live :class:`repro.faults.FaultPlan` does not round-trip through
+    JSON (it holds an RNG and the full record log); what sweep reports
+    and golden files consume is the per-kind fault counts and the
+    plan's SHA-256 digest.  ``FaultSummary`` carries exactly those, with
+    the same accessor names as ``FaultPlan``, so code rendering sweep
+    output works identically on a freshly-computed result (live plan)
+    and a cache-reconstituted one (summary).
+    """
+
+    counts: Dict[str, int]
+    sha256: str
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """``{kind: count}`` over the recorded faults, sorted by kind."""
+        return dict(sorted(self.counts.items()))
+
+    def count(self, kind: Optional[str] = None) -> int:
+        """Number of injected faults, optionally of one kind."""
+        if kind is None:
+            return sum(self.counts.values())
+        return self.counts.get(kind, 0)
+
+    def digest(self) -> str:
+        """SHA-256 digest of the originating plan's full summary."""
+        return self.sha256
+
+    @classmethod
+    def capture(cls, fault_plan) -> Optional["FaultSummary"]:
+        """Summarize a ``FaultPlan`` (or pass a summary through)."""
+        if fault_plan is None:
+            return None
+        if isinstance(fault_plan, FaultSummary):
+            return fault_plan
+        return cls(
+            counts=dict(fault_plan.counts_by_kind()),
+            sha256=fault_plan.digest(),
         )
 
 
@@ -108,6 +198,55 @@ class ExplorationResult:
             "sim_time_us": round(self.sim_time_ns / 1e3, 2),
             "wall_s": round(self.wall_seconds, 4),
         }
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-able dict of the whole result.
+
+        SimTime-bearing fields serialize as integer femtoseconds (via
+        the nested ``to_dict`` calls) and a live ``fault_plan`` is
+        reduced to its :class:`FaultSummary`, so the output is stable
+        across processes and Python versions — the representation the
+        sweep cache stores and workers ship back.
+        """
+        summary = FaultSummary.capture(self.fault_plan)
+        return {
+            "config": self.config.to_dict(),
+            "workload": self.workload,
+            "masters": [m.to_dict() for m in self.masters],
+            "sim_time_ns": self.sim_time_ns,
+            "wall_seconds": self.wall_seconds,
+            "utilization": self.utilization,
+            "total_bytes": self.total_bytes,
+            "fault": (
+                None if summary is None
+                else {"counts": summary.counts_by_kind(),
+                      "sha256": summary.sha256}
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExplorationResult":
+        """Rebuild from :meth:`to_dict` output.
+
+        The ``fault_plan`` slot comes back as a :class:`FaultSummary`
+        (counts + digest), not a live plan — enough for every report
+        and golden-file consumer.
+        """
+        fault = data.get("fault")
+        return cls(
+            config=ArchitectureConfig.from_dict(data["config"]),
+            workload=data["workload"],
+            masters=[MasterMetrics.from_dict(m) for m in data["masters"]],
+            sim_time_ns=data["sim_time_ns"],
+            wall_seconds=data["wall_seconds"],
+            utilization=data["utilization"],
+            total_bytes=data["total_bytes"],
+            fault_plan=(
+                None if fault is None
+                else FaultSummary(counts=dict(fault["counts"]),
+                                  sha256=fault["sha256"])
+            ),
+        )
 
 
 def _build_arbiter(config: ArchitectureConfig,
@@ -260,6 +399,11 @@ def run_point(
         total_bytes=sum(m.bytes_done for m in metrics),
         fault_plan=fault_plan,
     )
+
+
+#: Historical name for one design point's result; kept as an alias so
+#: report tooling can speak in the paper's "point" vocabulary.
+PointResult = ExplorationResult
 
 
 def explore(

@@ -49,6 +49,48 @@ class ArchitectureConfig:
             f"/b{self.max_burst}"
         )
 
+    def cache_key(self) -> str:
+        """Canonical identity string for result caching.
+
+        Pins a fixed field order and renders the clock period as its
+        exact integer femtosecond count, so the key is independent of
+        dataclass field order, ``SimTime`` repr, and the cosmetic
+        :attr:`label` (two configs differing only in label simulate
+        identically and must share cached results).  The format is a
+        compatibility contract — tests pin it, and the sweep cache keys
+        derive from it — so changing it invalidates every stored sweep
+        result.
+        """
+        return (
+            f"fabric={self.fabric};arbiter={self.arbiter};"
+            f"clock_fs={self.clock_period.femtoseconds};"
+            f"max_burst={self.max_burst};"
+            f"tdma_slot_cycles={self.tdma_slot_cycles}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able dict (``clock_period`` as integer femtoseconds)."""
+        return {
+            "fabric": self.fabric,
+            "arbiter": self.arbiter,
+            "clock_period_fs": self.clock_period.femtoseconds,
+            "max_burst": self.max_burst,
+            "tdma_slot_cycles": self.tdma_slot_cycles,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArchitectureConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        return cls(
+            fabric=data["fabric"],
+            arbiter=data["arbiter"],
+            clock_period=SimTime(data["clock_period_fs"]),
+            max_burst=data["max_burst"],
+            tdma_slot_cycles=data["tdma_slot_cycles"],
+            label=data.get("label"),
+        )
+
 
 @dataclass
 class DesignSpace:

@@ -67,6 +67,54 @@ class MasterTrafficSpec:
         if span > self.size:
             raise ValueError("burst does not fit the address region")
 
+    def to_dict(self) -> dict:
+        """JSON-able dict (``gap`` as integer femtoseconds)."""
+        return {
+            "name": self.name,
+            "pattern": self.pattern,
+            "base": self.base,
+            "size": self.size,
+            "burst_length": self.burst_length,
+            "gap_fs": self.gap.femtoseconds,
+            "read_fraction": self.read_fraction,
+            "transactions": self.transactions,
+            "priority": self.priority,
+            "word_bytes": self.word_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MasterTrafficSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            pattern=data["pattern"],
+            base=data["base"],
+            size=data["size"],
+            burst_length=data["burst_length"],
+            gap=SimTime(data["gap_fs"]),
+            read_fraction=data["read_fraction"],
+            transactions=data["transactions"],
+            priority=data["priority"],
+            word_bytes=data["word_bytes"],
+        )
+
+    def scaled(self, fraction: float) -> "MasterTrafficSpec":
+        """A copy with ``transactions`` scaled down to ``fraction``.
+
+        Used by early-stop sweep strategies to screen design points on
+        a shortened workload; an unbounded spec (``transactions=None``)
+        is returned unchanged.  At least one transaction survives.
+        """
+        if self.transactions is None or fraction >= 1.0:
+            return self
+        return MasterTrafficSpec(
+            name=self.name, pattern=self.pattern, base=self.base,
+            size=self.size, burst_length=self.burst_length, gap=self.gap,
+            read_fraction=self.read_fraction,
+            transactions=max(1, int(self.transactions * fraction)),
+            priority=self.priority, word_bytes=self.word_bytes,
+        )
+
 
 class TrafficMaster(Module):
     """Drives one blocking-transport socket with generated traffic."""

@@ -211,35 +211,65 @@ def run_campaign(seed: int = 1, transactions: int = 40,
     return CampaignResult(seed, plan, metrics, lines)
 
 
-def run_sweep(seed: int = 1) -> List[str]:
-    """Seeded fault-rate sweep through the exploration runner.
+#: Bus-error pressures the golden fault-rate sweep visits, in order.
+SWEEP_RATES = (0.0, 0.1, 0.25)
 
-    Sweeps bus-error pressure over a fixed two-master PLB design point
-    via :func:`repro.explore.runner.run_point` with a
-    :class:`~repro.explore.runner.FaultSpec`, proving fault pressure can
-    be swept like any other architecture parameter — and that each
-    point's fault log is reproducible.  Returns stable text lines
-    (pinned by ``benchmarks/golden_fault_sweep.txt``).
+
+def sweep_points(seed: int = 1) -> List[object]:
+    """The fault-rate sweep's design points, one per error rate.
+
+    A fixed two-master PLB point crossed with rising bus-error
+    pressure — fault rates swept through the same
+    :class:`~repro.sweep.SweepEngine` as any architecture parameter.
     """
-    from repro.explore.runner import FaultSpec, run_point
+    from repro.explore.runner import FaultSpec
     from repro.explore.space import ArchitectureConfig
     from repro.explore.workload import MasterTrafficSpec
+    from repro.sweep.points import SweepPoint
 
     config = ArchitectureConfig(fabric="plb")
-    specs = [
+    specs = (
         MasterTrafficSpec(name="m0", pattern="stream", base=0x0000,
                           size=4096, transactions=30),
         MasterTrafficSpec(name="m1", pattern="random", base=0x2000,
                           size=4096, transactions=30, priority=1),
-    ]
-    lines = [f"fault sweep seed={seed} fabric={config.fabric}"]
-    for rate in (0.0, 0.1, 0.25):
-        result = run_point(
-            config, specs, workload_name="sweep",
+    )
+    return [
+        SweepPoint(
+            config=config, specs=specs, workload="sweep",
             max_sim_time=us(500), seed=seed,
             faults=FaultSpec(seed=seed, bus_error_rate=rate,
                              mem_flip_period=us(20)),
         )
+        for rate in SWEEP_RATES
+    ]
+
+
+def run_sweep(seed: int = 1, engine=None) -> List[str]:
+    """Seeded fault-rate sweep through the parallel sweep engine.
+
+    Sweeps bus-error pressure over a fixed two-master PLB design point
+    via :class:`repro.sweep.SweepEngine` (the one sweep code path in
+    the repo), proving fault pressure can be swept like any other
+    architecture parameter — and that each point's fault log is
+    reproducible regardless of worker count or caching, because the
+    engine canonicalizes every result through the same serialization
+    round-trip.  Returns stable text lines (pinned by
+    ``benchmarks/golden_fault_sweep.txt``).
+
+    ``engine`` defaults to an in-process, cache-less engine so the
+    golden check needs no pool or scratch directory; passing one with
+    workers or a store must produce byte-identical lines.
+    """
+    from repro.sweep.engine import SweepEngine
+
+    if engine is None:
+        engine = SweepEngine(workers=1)
+    points = sweep_points(seed=seed)
+    lines = [f"fault sweep seed={seed} "
+             f"fabric={points[0].config.fabric}"]
+    for rate, outcome in zip(SWEEP_RATES, engine.run(points)):
+        result = outcome.result
         errors = sum(m.errors for m in result.masters)
         completed = sum(m.completed for m in result.masters)
         counts = ", ".join(

@@ -31,7 +31,7 @@ Quick start::
 """
 
 from repro.kernel.clock import Clock
-from repro.kernel.context import SimContext
+from repro.kernel.context import SimContext, active_context
 from repro.kernel.errors import (
     BindingError,
     ElaborationError,
@@ -111,6 +111,7 @@ __all__ = [
     "TimeError",
     "WatchdogError",
     "ZERO_TIME",
+    "active_context",
     "all_of",
     "any_of",
     "fs",

@@ -62,6 +62,22 @@ from repro.kernel.simtime import SimTime, ZERO_TIME
 # discarded lazily when they surface at the top of the heap.
 
 
+#: The context currently inside :meth:`SimContext.run` in this process.
+#: Exactly one simulation may be running per interpreter process at a
+#: time — the isolation precondition parallel sweep workers rely on for
+#: bit-identical results (each worker process runs its points' contexts
+#: strictly one after another).  Interleaved runs of *different*
+#: contexts (a process body spinning up and running a second simulation,
+#: or a thread racing two contexts) would share interpreter state in
+#: unspecified order, so :meth:`SimContext.run` rejects them.
+_active_context: Optional["SimContext"] = None
+
+
+def active_context() -> Optional["SimContext"]:
+    """The :class:`SimContext` currently running in this process, or None."""
+    return _active_context
+
+
 class SimContext:
     """A complete, self-contained simulation."""
 
@@ -379,9 +395,17 @@ class SimContext:
         With neither given, runs until event starvation or :meth:`stop`.
         Returns the simulation time when the run ended.
         """
+        global _active_context
         if self._running:
             raise SimulationError(
                 "run() called re-entrantly (e.g. from inside a process)"
+            )
+        if _active_context is not None and _active_context is not self:
+            raise SimulationError(
+                f"cannot run {self.name!r}: context "
+                f"{_active_context.name!r} is already running in this "
+                f"process; one process runs one simulation at a time "
+                f"(sweep workers isolate points in separate processes)"
             )
         if not self.elaborated:
             self.elaborate()
@@ -399,6 +423,7 @@ class SimContext:
 
         self._stop_requested = False
         self._running = True
+        _active_context = self
         try:
             if self._obs is None:
                 self._event_loop(limit_fs)
@@ -406,6 +431,7 @@ class SimContext:
                 self._event_loop_instrumented(limit_fs)
         finally:
             self._running = False
+            _active_context = None
         if self._failure is not None:
             self.last_run_outcome = "failed"
             failure, self._failure = self._failure, None

@@ -1,0 +1,44 @@
+"""``repro.sweep`` — parallel design-space sweeps with a result cache.
+
+The exploration runner (:mod:`repro.explore`) simulates one design
+point at a time; this package turns that into an exploration *engine*:
+:class:`SweepPoint` gives every point a canonical content key,
+:class:`SweepStore` persists results as append-only JSONL so sweeps
+resume incrementally, :class:`SweepEngine` shards uncached points over
+a process pool with bit-identical results regardless of pool size, and
+the search strategies (:class:`GridSearch`, :class:`RandomSearch`,
+:class:`SuccessiveHalving`) decide which points earn simulation time.
+``python -m repro.sweep`` drives it all from the command line and emits
+ranked JSON/CSV reports.
+"""
+
+from repro.sweep.engine import (
+    OBJECTIVES,
+    SweepEngine,
+    SweepOutcome,
+    objective_value,
+    ranked,
+)
+from repro.sweep.points import CODE_VERSION, SweepPoint, points_for_space
+from repro.sweep.store import STORE_SCHEMA, SweepStore
+from repro.sweep.strategies import (
+    GridSearch,
+    RandomSearch,
+    SuccessiveHalving,
+)
+
+__all__ = [
+    "CODE_VERSION",
+    "GridSearch",
+    "OBJECTIVES",
+    "RandomSearch",
+    "STORE_SCHEMA",
+    "SuccessiveHalving",
+    "SweepEngine",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepStore",
+    "objective_value",
+    "points_for_space",
+    "ranked",
+]

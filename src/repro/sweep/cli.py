@@ -1,0 +1,272 @@
+"""``python -m repro.sweep`` — ranked design-space sweep reports.
+
+Builds a :class:`~repro.explore.DesignSpace` from command-line axes,
+sweeps it over one of the standard E3 workloads with the parallel
+:class:`~repro.sweep.engine.SweepEngine`, and emits the ranked result
+table — to stdout, and optionally as JSON and/or CSV reports.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.sweep --workload mixed --workers 4
+    PYTHONPATH=src python -m repro.sweep --workload dma_stream \\
+        --fabrics plb,generic --strategy halving --cache /tmp/sweep
+    PYTHONPATH=src python -m repro.sweep --workload mixed \\
+        --cache /tmp/sweep --require-cached   # resume must be all-hits
+
+With ``--cache DIR`` results persist across invocations: an interrupted
+sweep resumes where it stopped, and a repeated sweep is served entirely
+from cache (enforceable with ``--require-cached``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.kernel.simtime import ns, us
+from repro.explore.space import ARBITERS, FABRICS, DesignSpace
+from repro.explore.workload import standard_workloads
+from repro.sweep.engine import OBJECTIVES, SweepEngine, SweepOutcome
+from repro.sweep.store import SweepStore
+from repro.sweep.strategies import (
+    GridSearch,
+    RandomSearch,
+    SuccessiveHalving,
+)
+
+
+def _csv_list(text: str) -> List[str]:
+    """Split a comma-separated option value, dropping empties."""
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="parallel, cached design-space sweep with ranked "
+                    "output",
+    )
+    parser.add_argument(
+        "--workload", default="mixed",
+        choices=sorted(standard_workloads()),
+        help="standard E3 workload to sweep (default: mixed)",
+    )
+    parser.add_argument(
+        "--fabrics", type=_csv_list,
+        default=["plb", "opb", "ahb", "generic", "crossbar"],
+        help=f"comma-separated fabrics from {FABRICS}",
+    )
+    parser.add_argument(
+        "--arbiters", type=_csv_list,
+        default=["static-priority", "round-robin"],
+        help=f"comma-separated arbiters from {ARBITERS}",
+    )
+    parser.add_argument(
+        "--clock-ns", type=_csv_list, default=["10"],
+        help="comma-separated clock periods in ns (default: 10)",
+    )
+    parser.add_argument(
+        "--bursts", type=_csv_list, default=["16"],
+        help="comma-separated max burst lengths (default: 16)",
+    )
+    parser.add_argument(
+        "--transactions", type=int, default=None,
+        help="override every master's transaction count (smoke runs)",
+    )
+    parser.add_argument(
+        "--strategy", default="grid",
+        choices=("grid", "random", "halving"),
+        help="search strategy (default: grid)",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=4,
+        help="points to draw with --strategy random (default: 4)",
+    )
+    parser.add_argument(
+        "--eta", type=int, default=2,
+        help="halving keep ratio: top 1/eta survive (default: 2)",
+    )
+    parser.add_argument(
+        "--screen-fraction", type=float, default=0.25,
+        help="halving screening workload fraction (default: 0.25)",
+    )
+    parser.add_argument(
+        "--objective", default="mean_latency_ns",
+        choices=sorted(OBJECTIVES),
+        help="ranking objective (default: mean_latency_ns)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default: 1 = in-process)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1,
+        help="workload seed (default: 1)",
+    )
+    parser.add_argument(
+        "--max-sim-time-us", type=int, default=10_000,
+        help="per-point simulated-time bound in us (default: 10000)",
+    )
+    parser.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="persistent JSONL result cache directory",
+    )
+    parser.add_argument(
+        "--rerun", action="store_true",
+        help="bypass cache reads (results are still written back)",
+    )
+    parser.add_argument(
+        "--require-cached", action="store_true",
+        help="fail (exit 2) if any point had to be simulated — "
+             "asserts a warm cache",
+    )
+    parser.add_argument(
+        "--top", type=int, default=None,
+        help="print/emit only the best N rows",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the ranked report as JSON",
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="write the ranked rows as CSV",
+    )
+    return parser
+
+
+def _build_strategy(args, space, specs):
+    """Instantiate the requested search strategy."""
+    common = dict(
+        workload=args.workload,
+        max_sim_time=us(args.max_sim_time_us),
+        seed=args.seed,
+    )
+    if args.strategy == "random":
+        return RandomSearch(space, specs, samples=args.samples, **common)
+    if args.strategy == "halving":
+        return SuccessiveHalving(
+            space, specs, eta=args.eta,
+            screen_fraction=args.screen_fraction, **common,
+        )
+    return GridSearch(space, specs, **common)
+
+
+def _format_rows(rows: List[dict]) -> str:
+    """Fixed-width table over the ranked rows."""
+    if not rows:
+        return "(no results)"
+    headers = ["rank", "config", "value", "mean_latency_ns",
+               "throughput_mbps", "utilization", "all_done"]
+    rendered = [
+        {
+            "rank": str(row["rank"]),
+            "config": row["config"],
+            "value": f"{row['value']:.2f}",
+            "mean_latency_ns": f"{row['mean_latency_ns']:.2f}",
+            "throughput_mbps": f"{row['throughput_mbps']:.2f}",
+            "utilization": f"{row['utilization']:.4f}",
+            "all_done": str(row["all_done"]),
+        }
+        for row in rows
+    ]
+    widths = {
+        h: max(len(h), *(len(r[h]) for r in rendered)) for h in headers
+    }
+    lines = [
+        "  ".join(h.ljust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for r in rendered:
+        lines.append("  ".join(r[h].ljust(widths[h]) for h in headers))
+    return "\n".join(lines)
+
+
+def rank_rows(outcomes: List[SweepOutcome],
+              objective: str) -> List[dict]:
+    """Numbered report rows for already-ranked outcomes."""
+    rows = []
+    for rank, outcome in enumerate(outcomes, start=1):
+        row = outcome.row(objective)
+        row["rank"] = rank
+        row["cached"] = outcome.cached
+        rows.append(row)
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    space = DesignSpace(
+        fabrics=tuple(args.fabrics),
+        arbiters=tuple(args.arbiters),
+        clock_periods=tuple(ns(int(c)) for c in args.clock_ns),
+        max_bursts=tuple(int(b) for b in args.bursts),
+    )
+    specs = standard_workloads()[args.workload]
+    if args.transactions is not None:
+        specs = [_with_transactions(s, args.transactions) for s in specs]
+    strategy = _build_strategy(args, space, specs)
+    store = SweepStore(args.cache) if args.cache else None
+    engine = SweepEngine(workers=args.workers, store=store)
+
+    wall_start = time.perf_counter()
+    outcomes = strategy.run(engine, objective=args.objective)
+    wall = time.perf_counter() - wall_start
+
+    if args.top is not None:
+        outcomes = outcomes[:args.top]
+    rows = rank_rows(outcomes, args.objective)
+    report = {
+        "workload": args.workload,
+        "strategy": args.strategy,
+        "objective": args.objective,
+        "points": len(outcomes),
+        "computed": engine.last_computed,
+        "cached": engine.last_cached,
+        "workers": args.workers,
+        "wall_s": round(wall, 4),
+        "ranked": rows,
+    }
+    print(_format_rows(rows))
+    print(
+        f"\nsweep: {report['points']} ranked point(s), "
+        f"{report['cached']} cached / {report['computed']} computed, "
+        f"{args.workers} worker(s), {wall:.2f} s"
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if args.csv:
+        with open(args.csv, "w", newline="", encoding="utf-8") as fh:
+            if rows:
+                writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+                writer.writeheader()
+                writer.writerows(rows)
+        print(f"wrote {args.csv}")
+    if args.require_cached and engine.last_computed:
+        print(
+            f"--require-cached: {engine.last_computed} point(s) were "
+            f"simulated instead of served from cache", file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _with_transactions(spec, transactions: int):
+    """Copy of ``spec`` with its transaction count replaced."""
+    from repro.explore.workload import MasterTrafficSpec
+
+    return MasterTrafficSpec(
+        name=spec.name, pattern=spec.pattern, base=spec.base,
+        size=spec.size, burst_length=spec.burst_length, gap=spec.gap,
+        read_fraction=spec.read_fraction, transactions=transactions,
+        priority=spec.priority, word_bytes=spec.word_bytes,
+    )

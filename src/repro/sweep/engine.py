@@ -1,0 +1,209 @@
+"""The parallel sweep engine: shard points over workers, cache results.
+
+:class:`SweepEngine` turns a list of :class:`~repro.sweep.points.SweepPoint`
+into a list of :class:`SweepOutcome` by (1) serving every point whose
+content key is already in the attached :class:`~repro.sweep.store.SweepStore`
+straight from cache, and (2) sharding the rest across a
+``ProcessPoolExecutor`` worker pool.  Three properties make the engine
+safe to parallelize:
+
+* **Process isolation** — each point simulates in a fresh
+  :class:`~repro.kernel.SimContext` inside its own worker process, and
+  the kernel's active-context guard (:func:`repro.kernel.active_context`)
+  rejects interleaved runs, so no interpreter state leaks between
+  points.
+* **Canonical results** — workers return
+  :meth:`~repro.explore.ExplorationResult.to_dict` payloads and the
+  engine reconstitutes them with ``from_dict``; the single-process
+  inline path performs the *same* round-trip, so results are
+  bit-identical whether computed inline, by 4 workers, or served from
+  cache.
+* **Content-keyed determinism** — a point's key fixes its seed and
+  workload, so results never depend on pool size or shard order; the
+  engine restores input order when collecting.
+
+Cached-vs-computed counts flow into an optional
+:class:`repro.obs.MetricsRegistry` under ``sweep.*``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.explore.runner import ExplorationResult, run_point
+from repro.sweep.points import SweepPoint
+from repro.sweep.store import SweepStore
+
+#: Ranking objectives: name -> (result accessor, higher_is_better).
+OBJECTIVES: Dict[str, Tuple[Callable, bool]] = {
+    "mean_latency_ns": (lambda r: r.mean_latency_ns, False),
+    "throughput_mbps": (lambda r: r.throughput_mbps, True),
+    "utilization": (lambda r: r.utilization, True),
+}
+
+
+@dataclass
+class SweepOutcome:
+    """One design point's result plus its provenance."""
+
+    point: SweepPoint
+    key: str
+    result: ExplorationResult
+    #: True when the result came from the store, not a fresh simulation.
+    cached: bool
+
+    def row(self, objective: str = "mean_latency_ns") -> dict:
+        """Deterministic report row for this outcome.
+
+        Contains only simulation-derived fields (no wall-clock times),
+        so rows are bit-identical across pool sizes and cache states.
+        """
+        result = self.result
+        return {
+            "config": result.config.name,
+            "workload": result.workload,
+            "objective": objective,
+            "value": objective_value(result, objective),
+            "mean_latency_ns": result.mean_latency_ns,
+            "throughput_mbps": result.throughput_mbps,
+            "utilization": result.utilization,
+            "sim_time_ns": result.sim_time_ns,
+            "total_bytes": result.total_bytes,
+            "all_done": result.all_done,
+            "key": self.key,
+        }
+
+
+def objective_value(result: ExplorationResult, objective: str) -> float:
+    """Extract the named objective from a result."""
+    try:
+        accessor, _ = OBJECTIVES[objective]
+    except KeyError:
+        raise ValueError(
+            f"unknown objective {objective!r}; expected one of "
+            f"{sorted(OBJECTIVES)}"
+        ) from None
+    return accessor(result)
+
+
+def ranked(outcomes: Sequence[SweepOutcome],
+           objective: str = "mean_latency_ns") -> List[SweepOutcome]:
+    """Outcomes sorted best-first on ``objective``.
+
+    Ties break on the config cache key then the workload name, so the
+    ranking is total and reproducible.
+    """
+    accessor, higher_better = OBJECTIVES[objective]
+    sign = -1.0 if higher_better else 1.0
+    return sorted(
+        outcomes,
+        key=lambda o: (sign * accessor(o.result),
+                       o.point.config.cache_key(), o.point.workload),
+    )
+
+
+def _compute_payload(payload: dict) -> dict:
+    """Worker entry point: simulate one point, return its result dict.
+
+    Module-level (picklable) and dict-in/dict-out, so it crosses the
+    process boundary without depending on pickle support in any
+    simulation class.  Runs in the parent for the inline path too —
+    one code path, one canonicalizing round-trip.
+    """
+    point = SweepPoint.from_payload(payload)
+    result = run_point(
+        point.config,
+        list(point.specs),
+        workload_name=point.workload,
+        max_sim_time=point.max_sim_time,
+        seed=point.seed,
+        memory_read_wait=point.memory_read_wait,
+        memory_write_wait=point.memory_write_wait,
+        faults=point.faults,
+    )
+    return result.to_dict()
+
+
+class SweepEngine:
+    """Shards sweep points across a worker pool with a result cache."""
+
+    def __init__(self, workers: Optional[int] = None,
+                 store: Optional[SweepStore] = None,
+                 metrics=None):
+        self.workers = 1 if workers is None else max(1, int(workers))
+        self.store = store
+        self.metrics = metrics
+        #: points served from cache by the most recent :meth:`run`
+        self.last_cached = 0
+        #: points freshly simulated by the most recent :meth:`run`
+        self.last_computed = 0
+
+    def run(self, points: Sequence[SweepPoint],
+            rerun: bool = False) -> List[SweepOutcome]:
+        """Resolve every point to an outcome, in input order.
+
+        Cache lookups happen first; the remaining (deduplicated)
+        points are simulated — inline when ``workers == 1`` or only one
+        point is pending, otherwise across the process pool.  With
+        ``rerun=True`` the cache is bypassed (results are still written
+        back, superseding earlier lines).
+        """
+        points = list(points)
+        keys = [p.key() for p in points]
+        outcomes: List[Optional[SweepOutcome]] = [None] * len(points)
+        #: key -> input indices still needing a simulation
+        pending: Dict[str, List[int]] = {}
+        for i, (point, key) in enumerate(zip(points, keys)):
+            cached = None
+            if self.store is not None and not rerun:
+                cached = self.store.get(key)
+            if cached is not None:
+                outcomes[i] = SweepOutcome(
+                    point=point, key=key,
+                    result=ExplorationResult.from_dict(cached),
+                    cached=True,
+                )
+            else:
+                pending.setdefault(key, []).append(i)
+
+        pending_keys = list(pending)
+        payloads = [points[pending[k][0]].to_payload()
+                    for k in pending_keys]
+        if len(payloads) > 1 and self.workers > 1:
+            pool_size = min(self.workers, len(payloads))
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                result_dicts = list(pool.map(_compute_payload, payloads))
+        else:
+            result_dicts = [_compute_payload(p) for p in payloads]
+
+        for key, result_dict in zip(pending_keys, result_dicts):
+            if self.store is not None:
+                self.store.put(key, result_dict)
+            for i in pending[key]:
+                outcomes[i] = SweepOutcome(
+                    point=points[i], key=key,
+                    result=ExplorationResult.from_dict(result_dict),
+                    cached=False,
+                )
+
+        # last_computed counts simulations actually executed, so
+        # duplicate input points sharing one key cost (and count) one.
+        self.last_computed = len(pending_keys)
+        self.last_cached = sum(1 for o in outcomes if o.cached)
+        if self.metrics is not None:
+            self.metrics.counter("sweep.points_total").inc(len(outcomes))
+            self.metrics.counter("sweep.points_cached").inc(
+                self.last_cached)
+            self.metrics.counter("sweep.points_computed").inc(
+                self.last_computed)
+            self.metrics.gauge("sweep.workers").set(self.workers)
+        return outcomes
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepEngine(workers={self.workers}, "
+            f"store={self.store!r}, metrics="
+            f"{'attached' if self.metrics is not None else 'None'})"
+        )

@@ -1,0 +1,109 @@
+"""On-disk JSONL result cache for design-space sweeps.
+
+A :class:`SweepStore` persists one JSON line per completed design point,
+keyed by the point's canonical content hash (see
+:meth:`repro.sweep.points.SweepPoint.key`).  Appending a line per result
+as it completes — rather than rewriting a monolithic file — makes
+interrupted sweeps resume for free: whatever lines made it to disk are
+served from cache on the next run, and only the missing points are
+simulated.  Repeated sweeps over an unchanged space therefore perform
+zero simulation work.
+
+Layout: one directory holding ``results.jsonl``; each line is
+``{"schema": 1, "key": "<sha256>", "result": {...}}`` where ``result``
+is :meth:`repro.explore.ExplorationResult.to_dict` output.  Duplicate
+keys are legal (re-runs with ``rerun=True`` append) — the *last* line
+for a key wins on load, matching append semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+#: Record-format version written with every line; lines carrying a
+#: different schema are ignored on load instead of crashing the sweep.
+STORE_SCHEMA = 1
+
+
+class SweepStore:
+    """Append-only JSONL cache of design-point results."""
+
+    def __init__(self, path):
+        p = Path(path)
+        if p.suffix != ".jsonl":
+            p = p / "results.jsonl"
+        self._path = p
+        self._results: Dict[str, dict] = {}
+        self._loaded_lines = 0
+        self._skipped_lines = 0
+        self.reload()
+
+    @property
+    def path(self) -> Path:
+        """The JSONL file backing this store."""
+        return self._path
+
+    @property
+    def skipped_lines(self) -> int:
+        """Lines ignored on load (corrupt or foreign-schema)."""
+        return self._skipped_lines
+
+    def reload(self) -> None:
+        """(Re)read the backing file; last line per key wins."""
+        self._results.clear()
+        self._loaded_lines = 0
+        self._skipped_lines = 0
+        if not self._path.exists():
+            return
+        with open(self._path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn final line from an interrupted run is
+                    # expected; everything before it is still good.
+                    self._skipped_lines += 1
+                    continue
+                if (not isinstance(record, dict)
+                        or record.get("schema") != STORE_SCHEMA
+                        or "key" not in record or "result" not in record):
+                    self._skipped_lines += 1
+                    continue
+                self._results[record["key"]] = record["result"]
+                self._loaded_lines += 1
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached result dict for ``key``, or None."""
+        return self._results.get(key)
+
+    def put(self, key: str, result: dict) -> None:
+        """Cache ``result`` under ``key`` and append it to disk."""
+        self._results[key] = result
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(
+            {"schema": STORE_SCHEMA, "key": key, "result": result},
+            sort_keys=True, separators=(",", ":"),
+        )
+        with open(self._path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over every cached key."""
+        return iter(self._results)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __repr__(self) -> str:
+        return f"SweepStore({str(self._path)!r}, {len(self)} results)"

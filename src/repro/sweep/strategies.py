@@ -1,0 +1,128 @@
+"""Search strategies over a communication-architecture design space.
+
+Three ways to spend a simulation budget, all driving the same
+:class:`~repro.sweep.engine.SweepEngine` (and therefore all sharing its
+worker pool and result cache):
+
+* :class:`GridSearch` — exhaustive: every config in the space.
+* :class:`RandomSearch` — seeded uniform sampling without replacement;
+  the classic cheap baseline when the space outgrows exhaustive sweeps.
+* :class:`SuccessiveHalving` — early-stop screening: every config runs
+  a shortened workload first, only the top ``1/eta`` survivors re-run
+  at full length.  Because screened and full-length runs have different
+  content keys, both stages cache independently.
+
+Every strategy is deterministic for a given seed and returns outcomes
+ranked best-first on the chosen objective.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from repro.kernel.simtime import SimTime
+from repro.explore.runner import FaultSpec
+from repro.explore.workload import MasterTrafficSpec
+from repro.sweep.engine import SweepEngine, SweepOutcome, ranked
+from repro.sweep.points import SweepPoint, points_for_space
+
+
+class GridSearch:
+    """Exhaustive sweep: one point per config in the space."""
+
+    def __init__(self, space, specs: Sequence[MasterTrafficSpec],
+                 workload: str = "workload",
+                 max_sim_time: Optional[SimTime] = None,
+                 seed: int = 1, faults: Optional[FaultSpec] = None):
+        self.points = points_for_space(
+            space, specs, workload=workload, max_sim_time=max_sim_time,
+            seed=seed, faults=faults,
+        )
+
+    def run(self, engine: SweepEngine,
+            objective: str = "mean_latency_ns") -> List[SweepOutcome]:
+        """Run every point; return outcomes ranked best-first."""
+        return ranked(engine.run(self.points), objective)
+
+
+class RandomSearch:
+    """Seeded random sampling (without replacement) from the space."""
+
+    def __init__(self, space, specs: Sequence[MasterTrafficSpec],
+                 samples: int, workload: str = "workload",
+                 max_sim_time: Optional[SimTime] = None,
+                 seed: int = 1, faults: Optional[FaultSpec] = None):
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        configs = list(space)
+        if samples < len(configs):
+            # String seeding for cross-process stability, matching the
+            # traffic generator's convention.
+            rng = random.Random(f"sweep-random:{seed}")
+            configs = rng.sample(configs, samples)
+        self.points = points_for_space(
+            configs, specs, workload=workload, max_sim_time=max_sim_time,
+            seed=seed, faults=faults,
+        )
+
+    def run(self, engine: SweepEngine,
+            objective: str = "mean_latency_ns") -> List[SweepOutcome]:
+        """Run the sampled points; return outcomes ranked best-first."""
+        return ranked(engine.run(self.points), objective)
+
+
+class SuccessiveHalving:
+    """Screen on a short workload, re-run the best at full length.
+
+    Every config first simulates with each spec's transaction count
+    scaled down to ``screen_fraction``; the top ``ceil(n / eta)`` by
+    the objective then re-run the full workload.  The final ranking
+    comes only from full-length runs, so early stopping never distorts
+    the reported numbers — it only prunes who earns a full run.
+    """
+
+    def __init__(self, space, specs: Sequence[MasterTrafficSpec],
+                 workload: str = "workload",
+                 max_sim_time: Optional[SimTime] = None,
+                 seed: int = 1, faults: Optional[FaultSpec] = None,
+                 eta: int = 2, screen_fraction: float = 0.25):
+        if eta < 2:
+            raise ValueError("eta must be >= 2")
+        if not 0.0 < screen_fraction <= 1.0:
+            raise ValueError("screen_fraction must be in (0, 1]")
+        self.eta = eta
+        self.screen_fraction = screen_fraction
+        self.full_points = points_for_space(
+            space, specs, workload=workload, max_sim_time=max_sim_time,
+            seed=seed, faults=faults,
+        )
+        short_specs = tuple(s.scaled(screen_fraction) for s in specs)
+        self.screen_points = [
+            SweepPoint(
+                config=p.config, specs=short_specs, workload=p.workload,
+                max_sim_time=p.max_sim_time, seed=p.seed, faults=p.faults,
+                memory_read_wait=p.memory_read_wait,
+                memory_write_wait=p.memory_write_wait,
+            )
+            for p in self.full_points
+        ]
+        #: screening-stage outcomes of the most recent :meth:`run`
+        self.last_screen: List[SweepOutcome] = []
+
+    def run(self, engine: SweepEngine,
+            objective: str = "mean_latency_ns") -> List[SweepOutcome]:
+        """Screen, prune to the top ``1/eta``, re-run them in full."""
+        self.last_screen = ranked(engine.run(self.screen_points),
+                                  objective)
+        survivors = max(1, math.ceil(len(self.last_screen) / self.eta))
+        keep = {
+            o.point.config.cache_key()
+            for o in self.last_screen[:survivors]
+        }
+        finalists = [
+            p for p in self.full_points
+            if p.config.cache_key() in keep
+        ]
+        return ranked(engine.run(finalists), objective)
