@@ -11,10 +11,13 @@ from repro.explore.runner import (
     MasterMetrics,
     PointResult,
     build_fabric,
+    decode_payload,
     explore,
     format_table,
     pareto_front,
     results_to_csv,
+    run_payload,
+    run_payload_batch,
     run_point,
 )
 from repro.explore.space import (
@@ -44,10 +47,13 @@ __all__ = [
     "PATTERNS",
     "TrafficMaster",
     "build_fabric",
+    "decode_payload",
     "explore",
     "format_table",
     "pareto_front",
     "results_to_csv",
+    "run_payload",
+    "run_payload_batch",
     "run_point",
     "standard_workloads",
 ]

@@ -406,6 +406,51 @@ def run_point(
 PointResult = ExplorationResult
 
 
+def decode_payload(payload: dict) -> dict:
+    """Turn a plain-JSON point payload into :func:`run_point` kwargs.
+
+    The payload format is :meth:`repro.sweep.SweepPoint.to_payload`
+    output, but decoding lives here — every field is an explore-level
+    type, and the sweep worker pool needs exactly this module (and not
+    the sweep package) importable on its hot path.
+    """
+    faults = payload.get("faults")
+    return {
+        "config": ArchitectureConfig.from_dict(payload["config"]),
+        "specs": [
+            MasterTrafficSpec.from_dict(s) for s in payload["specs"]
+        ],
+        "workload_name": payload["workload"],
+        "max_sim_time": SimTime(payload["max_sim_time_fs"]),
+        "seed": payload["seed"],
+        "faults": None if faults is None else FaultSpec.from_dict(faults),
+        "memory_read_wait": payload["memory_read_wait"],
+        "memory_write_wait": payload["memory_write_wait"],
+    }
+
+
+def run_payload(payload: dict) -> dict:
+    """Simulate one plain-JSON point payload; return its result dict.
+
+    Dict-in/dict-out — the form that crosses a process boundary without
+    any simulation class needing pickle support.  The returned dict is
+    canonical :meth:`ExplorationResult.to_dict` output, so caller-side
+    ``from_dict`` reconstitution is bit-identical to an inline run.
+    """
+    return run_point(**decode_payload(payload)).to_dict()
+
+
+def run_payload_batch(payloads: Sequence[dict]) -> List[dict]:
+    """Simulate a batch of point payloads in order; one result dict each.
+
+    The worker-side entry point of the sweep's persistent pool
+    (:class:`repro.sweep.WorkerPool`): one IPC round-trip ships a whole
+    shard of points and returns a compact list of result dicts, so
+    per-point dispatch overhead amortizes to ~zero.
+    """
+    return [run_payload(payload) for payload in payloads]
+
+
 def explore(
     space: Iterable[ArchitectureConfig],
     specs: Sequence[MasterTrafficSpec],

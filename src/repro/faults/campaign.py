@@ -259,7 +259,10 @@ def run_sweep(seed: int = 1, engine=None) -> List[str]:
 
     ``engine`` defaults to an in-process, cache-less engine so the
     golden check needs no pool or scratch directory; passing one with
-    workers or a store must produce byte-identical lines.
+    workers or a store must produce byte-identical lines.  Callers who
+    sweep repeatedly (multiple seeds, resume loops) should pass one
+    engine and keep it: its warm worker pool persists across
+    ``run_sweep`` calls, so only the first sweep pays process startup.
     """
     from repro.sweep.engine import SweepEngine
 
@@ -297,6 +300,12 @@ def main(argv=None) -> int:
              "multi-layer campaign",
     )
     parser.add_argument(
+        "--workers", default=None,
+        help="with --sweep: worker processes for the sweep engine "
+             "(a count or 'auto'; default: in-process). All sweep "
+             "phases share one engine and thus one warm pool.",
+    )
+    parser.add_argument(
         "--write", metavar="PATH",
         help="write the summary to PATH (regenerate the golden file)",
     )
@@ -306,7 +315,13 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     if args.sweep:
-        lines = run_sweep(seed=args.seed)
+        from repro.sweep.engine import SweepEngine
+
+        # One engine for the whole invocation: every sweep phase below
+        # dispatches onto the same warm pool (golden output is
+        # byte-identical regardless of worker count).
+        with SweepEngine(workers=args.workers) as engine:
+            lines = run_sweep(seed=args.seed, engine=engine)
         text = "\n".join(lines) + "\n"
         result = None
     else:

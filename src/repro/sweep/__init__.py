@@ -4,15 +4,19 @@ The exploration runner (:mod:`repro.explore`) simulates one design
 point at a time; this package turns that into an exploration *engine*:
 :class:`SweepPoint` gives every point a canonical content key,
 :class:`SweepStore` persists results as append-only JSONL so sweeps
-resume incrementally, :class:`SweepEngine` shards uncached points over
-a process pool with bit-identical results regardless of pool size, and
-the search strategies (:class:`GridSearch`, :class:`RandomSearch`,
+resume incrementally, :class:`SweepEngine` shards uncached points in
+batched chunks over a persistent :class:`WorkerPool` of warm,
+pre-imported worker processes — bit-identical results regardless of
+pool size, batch size, or cache state, with process startup paid once
+per engine instead of once per run — and the search strategies
+(:class:`GridSearch`, :class:`RandomSearch`,
 :class:`SuccessiveHalving`) decide which points earn simulation time.
 ``python -m repro.sweep`` drives it all from the command line and emits
 ranked JSON/CSV reports.
 """
 
 from repro.sweep.engine import (
+    DEFAULT_OVERSUBSCRIBE,
     OBJECTIVES,
     SweepEngine,
     SweepOutcome,
@@ -20,6 +24,11 @@ from repro.sweep.engine import (
     ranked,
 )
 from repro.sweep.points import CODE_VERSION, SweepPoint, points_for_space
+from repro.sweep.pool import (
+    WorkerPool,
+    WorkerPoolError,
+    resolve_workers,
+)
 from repro.sweep.store import STORE_SCHEMA, SweepStore
 from repro.sweep.strategies import (
     GridSearch,
@@ -29,6 +38,7 @@ from repro.sweep.strategies import (
 
 __all__ = [
     "CODE_VERSION",
+    "DEFAULT_OVERSUBSCRIBE",
     "GridSearch",
     "OBJECTIVES",
     "RandomSearch",
@@ -38,7 +48,10 @@ __all__ = [
     "SweepOutcome",
     "SweepPoint",
     "SweepStore",
+    "WorkerPool",
+    "WorkerPoolError",
     "objective_value",
     "points_for_space",
     "ranked",
+    "resolve_workers",
 ]

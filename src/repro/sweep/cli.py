@@ -7,7 +7,7 @@ table — to stdout, and optionally as JSON and/or CSV reports.
 
 Examples::
 
-    PYTHONPATH=src python -m repro.sweep --workload mixed --workers 4
+    PYTHONPATH=src python -m repro.sweep --workload mixed --workers auto
     PYTHONPATH=src python -m repro.sweep --workload dma_stream \\
         --fabrics plb,generic --strategy halving --cache /tmp/sweep
     PYTHONPATH=src python -m repro.sweep --workload mixed \\
@@ -30,7 +30,12 @@ from typing import List, Optional
 from repro.kernel.simtime import ns, us
 from repro.explore.space import ARBITERS, FABRICS, DesignSpace
 from repro.explore.workload import standard_workloads
-from repro.sweep.engine import OBJECTIVES, SweepEngine, SweepOutcome
+from repro.sweep.engine import (
+    DEFAULT_OVERSUBSCRIBE,
+    OBJECTIVES,
+    SweepEngine,
+    SweepOutcome,
+)
 from repro.sweep.store import SweepStore
 from repro.sweep.strategies import (
     GridSearch,
@@ -42,6 +47,22 @@ from repro.sweep.strategies import (
 def _csv_list(text: str) -> List[str]:
     """Split a comma-separated option value, dropping empties."""
     return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _workers_arg(text: str):
+    """``--workers`` value: a positive int or the string ``auto``."""
+    text = text.strip().lower()
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("workers must be >= 1")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,8 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="ranking objective (default: mean_latency_ns)",
     )
     parser.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes (default: 1 = in-process)",
+        "--workers", type=_workers_arg, default=1,
+        help="worker processes: a count, or 'auto' for one per CPU "
+             "(default: 1 = in-process)",
+    )
+    parser.add_argument(
+        "--oversubscribe", type=int, default=None,
+        help="batches per worker when sharding pending points "
+             f"(default: {DEFAULT_OVERSUBSCRIBE})",
     )
     parser.add_argument(
         "--seed", type=int, default=1,
@@ -213,11 +240,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         specs = [_with_transactions(s, args.transactions) for s in specs]
     strategy = _build_strategy(args, space, specs)
     store = SweepStore(args.cache) if args.cache else None
-    engine = SweepEngine(workers=args.workers, store=store)
-
-    wall_start = time.perf_counter()
-    outcomes = strategy.run(engine, objective=args.objective)
-    wall = time.perf_counter() - wall_start
+    oversubscribe = (DEFAULT_OVERSUBSCRIBE if args.oversubscribe is None
+                     else args.oversubscribe)
+    # One engine — and therefore at most one warm worker pool — serves
+    # every stage the strategy runs; the context manager tears the
+    # pool down when the sweep is done.
+    with SweepEngine(workers=args.workers, store=store,
+                     oversubscribe=oversubscribe) as engine:
+        wall_start = time.perf_counter()
+        outcomes = strategy.run(engine, objective=args.objective)
+        wall = time.perf_counter() - wall_start
+        pool_spawns = engine.pool_spawns
+        pool_reuses = engine.pool_reuses
 
     if args.top is not None:
         outcomes = outcomes[:args.top]
@@ -229,7 +263,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "points": len(outcomes),
         "computed": engine.last_computed,
         "cached": engine.last_cached,
-        "workers": args.workers,
+        "workers": engine.workers,
+        "pool_spawns": pool_spawns,
+        "pool_reuses": pool_reuses,
         "wall_s": round(wall, 4),
         "ranked": rows,
     }
@@ -237,7 +273,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(
         f"\nsweep: {report['points']} ranked point(s), "
         f"{report['cached']} cached / {report['computed']} computed, "
-        f"{args.workers} worker(s), {wall:.2f} s"
+        f"{engine.workers} worker(s) ({pool_spawns} spawned, "
+        f"{pool_reuses} warm reuse(s)), {wall:.2f} s"
     )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:

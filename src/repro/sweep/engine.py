@@ -1,39 +1,46 @@
-"""The parallel sweep engine: shard points over workers, cache results.
+"""The parallel sweep engine: shard points over warm workers, cache results.
 
 :class:`SweepEngine` turns a list of :class:`~repro.sweep.points.SweepPoint`
 into a list of :class:`SweepOutcome` by (1) serving every point whose
 content key is already in the attached :class:`~repro.sweep.store.SweepStore`
-straight from cache, and (2) sharding the rest across a
-``ProcessPoolExecutor`` worker pool.  Three properties make the engine
-safe to parallelize:
+straight from cache, and (2) sharding the rest — in batched chunks — across
+a persistent :class:`~repro.sweep.pool.WorkerPool`.  The pool spawns once,
+pre-imports the simulation stack, and stays hot across ``run()`` calls, so
+multi-stage strategies (successive-halving screens then finals, fault
+campaigns, CLI resume loops) pay process startup exactly once; after warmup
+the per-point dispatch cost is one share of a batched IPC round-trip.
+
+Three properties make the engine safe to parallelize:
 
 * **Process isolation** — each point simulates in a fresh
-  :class:`~repro.kernel.SimContext` inside its own worker process, and
-  the kernel's active-context guard (:func:`repro.kernel.active_context`)
+  :class:`~repro.kernel.SimContext` inside a worker process, and the
+  kernel's active-context guard (:func:`repro.kernel.active_context`)
   rejects interleaved runs, so no interpreter state leaks between
-  points.
+  points.  Workers are long-lived, but every point builds its own
+  context, so reuse never aliases simulation state.
 * **Canonical results** — workers return
   :meth:`~repro.explore.ExplorationResult.to_dict` payloads and the
   engine reconstitutes them with ``from_dict``; the single-process
   inline path performs the *same* round-trip, so results are
-  bit-identical whether computed inline, by 4 workers, or served from
-  cache.
+  bit-identical whether computed inline, by 4 warm workers, in any
+  batch size, or served from cache.
 * **Content-keyed determinism** — a point's key fixes its seed and
-  workload, so results never depend on pool size or shard order; the
-  engine restores input order when collecting.
+  workload, so results never depend on pool size, batch size, or shard
+  order; the engine restores input order when collecting.
 
-Cached-vs-computed counts flow into an optional
+Cached-vs-computed counts and pool reuse flow into an optional
 :class:`repro.obs.MetricsRegistry` under ``sweep.*``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.explore.runner import ExplorationResult, run_point
 from repro.sweep.points import SweepPoint
+from repro.sweep.pool import WorkerPool, resolve_workers
 from repro.sweep.store import SweepStore
 
 #: Ranking objectives: name -> (result accessor, higher_is_better).
@@ -42,6 +49,11 @@ OBJECTIVES: Dict[str, Tuple[Callable, bool]] = {
     "throughput_mbps": (lambda r: r.throughput_mbps, True),
     "utilization": (lambda r: r.utilization, True),
 }
+
+#: Default target of batches *per worker* when sharding pending points.
+#: ``>1`` keeps the shared task queue non-empty so fast workers steal
+#: work from slow batches instead of idling at the tail.
+DEFAULT_OVERSUBSCRIBE = 4
 
 
 @dataclass
@@ -105,12 +117,12 @@ def ranked(outcomes: Sequence[SweepOutcome],
 
 
 def _compute_payload(payload: dict) -> dict:
-    """Worker entry point: simulate one point, return its result dict.
+    """Inline entry point: simulate one point, return its result dict.
 
-    Module-level (picklable) and dict-in/dict-out, so it crosses the
-    process boundary without depending on pickle support in any
-    simulation class.  Runs in the parent for the inline path too —
-    one code path, one canonicalizing round-trip.
+    Dict-in/dict-out, exactly mirroring what a pool worker computes via
+    :func:`repro.explore.runner.run_payload_batch` — one code path
+    shape, one canonicalizing round-trip, so inline and pooled results
+    are bit-identical.
     """
     point = SweepPoint.from_payload(payload)
     result = run_point(
@@ -127,18 +139,90 @@ def _compute_payload(payload: dict) -> dict:
 
 
 class SweepEngine:
-    """Shards sweep points across a worker pool with a result cache."""
+    """Shards sweep points over a persistent warm pool with a cache.
 
-    def __init__(self, workers: Optional[int] = None,
+    ``workers`` may be an int, ``None`` (serial), or ``"auto"``
+    (:func:`os.cpu_count`).  The pool is lazy: nothing spawns until the
+    first ``run()`` actually has more than one uncached point, and once
+    spawned it persists across ``run()`` calls until :meth:`close` (the
+    engine is also a context manager).  ``oversubscribe`` controls
+    batch sizing: pending points are sharded into
+    ``ceil(pending / (workers * oversubscribe))``-sized chunks.
+    """
+
+    def __init__(self, workers=None,
                  store: Optional[SweepStore] = None,
-                 metrics=None):
-        self.workers = 1 if workers is None else max(1, int(workers))
+                 metrics=None,
+                 oversubscribe: int = DEFAULT_OVERSUBSCRIBE):
+        self.workers = resolve_workers(workers)
+        if oversubscribe < 1:
+            raise ValueError("oversubscribe must be >= 1")
+        self.oversubscribe = int(oversubscribe)
         self.store = store
         self.metrics = metrics
+        self._pool: Optional[WorkerPool] = None
         #: points served from cache by the most recent :meth:`run`
         self.last_cached = 0
         #: points freshly simulated by the most recent :meth:`run`
         self.last_computed = 0
+        #: batches dispatched by the most recent :meth:`run` (0 = inline)
+        self.last_batches = 0
+        #: ``run()`` calls that found the pool already warm and reused it
+        self.pool_reuses = 0
+
+    # -- pool lifecycle -----------------------------------------------
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The persistent worker pool, or None before first parallel run."""
+        return self._pool
+
+    @property
+    def pool_spawns(self) -> int:
+        """Processes spawned over this engine's lifetime (0 = none yet)."""
+        return self._pool.spawn_count if self._pool is not None else 0
+
+    def pool_pids(self) -> List[int]:
+        """Live worker PIDs (empty when no pool is warm)."""
+        return self._pool.worker_pids() if self._pool is not None else []
+
+    def dispatch_overhead_s(self) -> float:
+        """Submit-to-worker-start latency of a no-op task, in seconds.
+
+        Warms the pool if needed; serial engines (``workers == 1``)
+        report 0.0 — inline dispatch is a function call.
+        """
+        if self.workers <= 1:
+            return 0.0
+        return self._ensure_pool(count_reuse=False).ping()
+
+    def close(self) -> None:
+        """Shut the worker pool down; idempotent.
+
+        The engine stays usable — the next parallel ``run()`` spawns a
+        fresh pool generation.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self, count_reuse: bool = True) -> WorkerPool:
+        """The warm pool, spawning it on first use."""
+        if self._pool is None:
+            self._pool = WorkerPool(self.workers)
+        was_warm = self._pool.started
+        self._pool.ensure_started()
+        if was_warm and count_reuse:
+            self.pool_reuses += 1
+        return self._pool
+
+    # -- the sweep ----------------------------------------------------
 
     def run(self, points: Sequence[SweepPoint],
             rerun: bool = False) -> List[SweepOutcome]:
@@ -146,9 +230,9 @@ class SweepEngine:
 
         Cache lookups happen first; the remaining (deduplicated)
         points are simulated — inline when ``workers == 1`` or only one
-        point is pending, otherwise across the process pool.  With
-        ``rerun=True`` the cache is bypassed (results are still written
-        back, superseding earlier lines).
+        point is pending, otherwise as batched shards on the persistent
+        pool.  With ``rerun=True`` the cache is bypassed (results are
+        still written back, superseding earlier lines).
         """
         points = list(points)
         keys = [p.key() for p in points]
@@ -171,11 +255,19 @@ class SweepEngine:
         pending_keys = list(pending)
         payloads = [points[pending[k][0]].to_payload()
                     for k in pending_keys]
+        pool_was_warm = self._pool is not None and self._pool.started
         if len(payloads) > 1 and self.workers > 1:
-            pool_size = min(self.workers, len(payloads))
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                result_dicts = list(pool.map(_compute_payload, payloads))
+            pool = self._ensure_pool()
+            batch_size = max(1, math.ceil(
+                len(payloads) / (self.workers * self.oversubscribe)))
+            batches = [payloads[i:i + batch_size]
+                       for i in range(0, len(payloads), batch_size)]
+            self.last_batches = len(batches)
+            result_dicts = [result
+                            for batch in pool.map_batches(batches)
+                            for result in batch]
         else:
+            self.last_batches = 0
             result_dicts = [_compute_payload(p) for p in payloads]
 
         for key, result_dict in zip(pending_keys, result_dicts):
@@ -198,12 +290,16 @@ class SweepEngine:
                 self.last_cached)
             self.metrics.counter("sweep.points_computed").inc(
                 self.last_computed)
+            self.metrics.counter("sweep.batches").inc(self.last_batches)
+            if self.last_batches and pool_was_warm:
+                self.metrics.counter("sweep.pool_reuses").inc()
             self.metrics.gauge("sweep.workers").set(self.workers)
         return outcomes
 
     def __repr__(self) -> str:
+        pool = "cold" if self._pool is None else repr(self._pool)
         return (
-            f"SweepEngine(workers={self.workers}, "
+            f"SweepEngine(workers={self.workers}, pool={pool}, "
             f"store={self.store!r}, metrics="
             f"{'attached' if self.metrics is not None else 'None'})"
         )

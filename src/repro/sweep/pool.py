@@ -1,0 +1,300 @@
+"""Persistent warm-worker pool for the sweep engine.
+
+``ProcessPoolExecutor`` made parallel sweeps *slower* than serial on
+the bench box (``speedup_vs_serial: 0.51``): every ``SweepEngine.run``
+paid pool spawn, interpreter boot, module import, and one
+payload-pickle round-trip *per point*, which swamps few-millisecond
+simulations.  :class:`WorkerPool` removes all four costs:
+
+* **Fork once, stay hot.**  Workers are long-lived daemon processes
+  spawned on first use.  They pre-import the simulation stack
+  (:mod:`repro.explore.runner` and its kernel/CAM dependencies) before
+  reporting ready, so after warmup a dispatch touches no import
+  machinery.  The pool survives across ``run()`` calls — multi-stage
+  strategies (screen + finals, fault campaigns, CLI resume loops)
+  reuse one pool instead of respawning.
+* **Batched shards.**  Work is dispatched as *batches* of plain-JSON
+  point payloads; one IPC round-trip carries many points and returns a
+  compact list of result dicts (:func:`repro.explore.runner.run_payload_batch`
+  is the worker-side entry point).  Workers pull batches off one shared
+  queue, so load balances even when batch costs are skewed.
+* **Measurable overhead.**  :meth:`WorkerPool.ping` round-trips a no-op
+  task and returns the submit-to-worker-start latency, which is what
+  ``benchmarks/run_all.py`` records as ``sweep.dispatch_overhead_ms``.
+
+Results are dict-in/dict-out and order-restored by task id, so the
+engine's canonicalizing ``to_dict``/``from_dict`` round-trip is
+untouched: results stay bit-identical across pool sizes, batch sizes,
+and cache states.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence
+
+#: Seconds to wait for a worker to report ready before declaring the
+#: pool broken.  Generous: a cold ``spawn``-method worker pays a full
+#: interpreter boot plus the simulation-stack import.
+READY_TIMEOUT_S = 60.0
+
+#: Seconds between liveness checks while waiting on results.
+POLL_INTERVAL_S = 0.1
+
+
+class WorkerPoolError(RuntimeError):
+    """A worker died or misbehaved; the pool can no longer be trusted."""
+
+
+def resolve_workers(workers) -> int:
+    """Normalize a worker-count request to a positive int.
+
+    ``None`` means serial (1).  ``"auto"`` resolves to
+    :func:`os.cpu_count` so ``SweepEngine(workers="auto")`` and
+    ``python -m repro.sweep --workers auto`` saturate the machine.
+    """
+    if workers is None:
+        return 1
+    if isinstance(workers, str):
+        if workers.strip().lower() == "auto":
+            return max(1, os.cpu_count() or 1)
+        workers = int(workers)
+    return max(1, int(workers))
+
+
+def _preferred_context():
+    """``fork`` where available (workers inherit warm imports), else
+    the platform default (``spawn``; workers import on boot instead)."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _worker_main(worker_id: int, tasks, results) -> None:
+    """Long-lived worker loop: pre-import, report ready, serve batches.
+
+    Task messages are ``(kind, task_id, payloads)``:
+
+    * ``"batch"`` — simulate every payload via
+      :func:`repro.explore.runner.run_payload_batch`; reply
+      ``("done", task_id, started, result_dicts)``.
+    * ``"ping"`` — no-op; reply ``("pong", task_id, started, None)``
+      where ``started`` is the worker-side :func:`time.time` at pickup
+      (wall clock is the one timestamp comparable across processes).
+    * ``None`` — shut down.
+
+    Any exception is caught and shipped back as
+    ``("error", task_id, started, traceback_text)`` so the parent can
+    raise with context instead of hanging.
+    """
+    # Pre-import the entire simulation stack (kernel, CAMs, traffic,
+    # faults) so the first real batch runs as hot as the hundredth.
+    from repro.explore.runner import run_payload_batch
+
+    results.put(("ready", worker_id, os.getpid(), None))
+    while True:
+        item = tasks.get()
+        if item is None:
+            break
+        kind, task_id, payloads = item
+        started = time.time()
+        if kind == "ping":
+            results.put(("pong", task_id, started, None))
+            continue
+        try:
+            batch = run_payload_batch(payloads)
+        except BaseException:
+            results.put(("error", task_id, started,
+                         traceback.format_exc()))
+        else:
+            results.put(("done", task_id, started, batch))
+
+
+class WorkerPool:
+    """A pool of persistent, pre-warmed simulation worker processes.
+
+    Lazily spawned: constructing a pool is free; processes fork on the
+    first :meth:`ensure_started` / :meth:`map_batches` / :meth:`ping`
+    and then persist until :meth:`close` (or interpreter exit — workers
+    are daemons).  ``spawn_count`` tracks every process ever started,
+    so "a warm second run spawned zero new processes" is assertable:
+    it simply stays equal to ``workers``.
+    """
+
+    def __init__(self, workers: int):
+        self.workers = resolve_workers(workers)
+        self._ctx = _preferred_context()
+        self._procs: List = []
+        self._tasks = None
+        self._results = None
+        self._next_task_id = 0
+        #: processes spawned over the pool's lifetime
+        self.spawn_count = 0
+        #: batches shipped to workers over the pool's lifetime
+        self.batches_dispatched = 0
+        #: points shipped inside those batches
+        self.points_dispatched = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        """True once workers exist (and :meth:`close` has not run)."""
+        return bool(self._procs)
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live workers (empty before start/after close)."""
+        return [p.pid for p in self._procs]
+
+    def ensure_started(self) -> None:
+        """Spawn and warm the workers if they are not already up.
+
+        Blocks until every worker has imported the simulation stack and
+        reported ready, so callers can treat "started" as "hot".
+        """
+        if self._procs:
+            return
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        for worker_id in range(self.workers):
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(worker_id, self._tasks, self._results),
+                name=f"sweep-worker-{worker_id}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+            self.spawn_count += 1
+        ready = 0
+        deadline = time.monotonic() + READY_TIMEOUT_S
+        while ready < self.workers:
+            message = self._get_result(deadline)
+            if message[0] == "ready":
+                ready += 1
+
+    def close(self) -> None:
+        """Shut the workers down; idempotent.
+
+        A closed pool may be started again (a fresh generation of
+        processes — ``spawn_count`` keeps counting up).
+        """
+        if not self._procs:
+            return
+        for _ in self._procs:
+            try:
+                self._tasks.put(None)
+            except (OSError, ValueError):
+                break
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for q in (self._tasks, self._results):
+            try:
+                q.close()
+                q.join_thread()
+            except (OSError, ValueError):
+                pass
+        self._procs = []
+        self._tasks = None
+        self._results = None
+
+    def __enter__(self) -> "WorkerPool":
+        self.ensure_started()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort; daemons die with the process
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- dispatch -----------------------------------------------------
+
+    def map_batches(self, batches: Sequence[Sequence[dict]],
+                    ) -> List[List[dict]]:
+        """Run every payload batch on the pool; results in input order.
+
+        All batches are enqueued up front on one shared queue — free
+        workers pull the next batch, so scheduling is dynamic — and
+        the replies are reassembled by task id, so the output order
+        (and therefore every downstream result) is independent of
+        which worker computed what.
+        """
+        self.ensure_started()
+        ids = []
+        for batch in batches:
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            self._tasks.put(("batch", task_id, list(batch)))
+            ids.append(task_id)
+            self.batches_dispatched += 1
+            self.points_dispatched += len(batch)
+        expected = set(ids)
+        collected: Dict[int, List[dict]] = {}
+        while expected:
+            kind, task_id, _started, body = self._get_result()
+            if task_id not in expected:
+                continue  # stale reply from an aborted earlier call
+            if kind == "error":
+                raise WorkerPoolError(
+                    f"sweep worker failed on batch {task_id}:\n{body}"
+                )
+            if kind == "done":
+                collected[task_id] = body
+                expected.discard(task_id)
+        return [collected[i] for i in ids]
+
+    def ping(self) -> float:
+        """Seconds from submit to worker-side start for a no-op task.
+
+        The per-point dispatch overhead a warm pool still pays — what
+        the bench records as ``sweep.dispatch_overhead_ms``.
+        """
+        self.ensure_started()
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        submitted = time.time()
+        self._tasks.put(("ping", task_id, None))
+        while True:
+            kind, got_id, started, _body = self._get_result()
+            if got_id == task_id and kind == "pong":
+                return max(0.0, started - submitted)
+
+    # -- internals ----------------------------------------------------
+
+    def _get_result(self, deadline: Optional[float] = None):
+        """One message off the result queue, watching worker health."""
+        while True:
+            try:
+                return self._results.get(timeout=POLL_INTERVAL_S)
+            except queue_module.Empty:
+                dead = [p for p in self._procs if not p.is_alive()]
+                if dead:
+                    names = ", ".join(
+                        f"{p.name} (exit {p.exitcode})" for p in dead
+                    )
+                    self.close()
+                    raise WorkerPoolError(
+                        f"sweep worker(s) died: {names}"
+                    ) from None
+                if deadline is not None and time.monotonic() > deadline:
+                    self.close()
+                    raise WorkerPoolError(
+                        "timed out waiting for sweep workers to warm up"
+                    ) from None
+
+    def __repr__(self) -> str:
+        state = "warm" if self.started else "cold"
+        return (f"WorkerPool(workers={self.workers}, {state}, "
+                f"spawned={self.spawn_count})")

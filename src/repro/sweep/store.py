@@ -83,17 +83,28 @@ class SweepStore:
         return self._results.get(key)
 
     def put(self, key: str, result: dict) -> None:
-        """Cache ``result`` under ``key`` and append it to disk."""
+        """Cache ``result`` under ``key`` and append it to disk.
+
+        The record is written with a *single* ``write`` syscall on a
+        file opened ``O_APPEND``, so concurrent writers — two engines
+        sharing one cache, or several pool feeders — interleave whole
+        lines rather than tearing each other's records.  (A torn final
+        line from a hard kill mid-write is still tolerated on load.)
+        """
         self._results[key] = result
         self._path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(
             {"schema": STORE_SCHEMA, "key": key, "result": result},
             sort_keys=True, separators=(",", ":"),
         )
-        with open(self._path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        data = (line + "\n").encode("utf-8")
+        fd = os.open(str(self._path),
+                     os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def keys(self) -> Iterator[str]:
         """Iterate over every cached key."""

@@ -10,7 +10,11 @@ worker pool and result cache):
 * :class:`SuccessiveHalving` — early-stop screening: every config runs
   a shortened workload first, only the top ``1/eta`` survivors re-run
   at full length.  Because screened and full-length runs have different
-  content keys, both stages cache independently.
+  content keys, both stages cache independently — and because both
+  stages drive the *same* engine, the finals stage reuses the warm
+  worker pool the screen spawned instead of paying process startup
+  twice (visible as ``engine.pool_reuses`` / the ``sweep.pool_reuses``
+  metric).
 
 Every strategy is deterministic for a given seed and returns outcomes
 ranked best-first on the chosen objective.
@@ -113,7 +117,11 @@ class SuccessiveHalving:
 
     def run(self, engine: SweepEngine,
             objective: str = "mean_latency_ns") -> List[SweepOutcome]:
-        """Screen, prune to the top ``1/eta``, re-run them in full."""
+        """Screen, prune to the top ``1/eta``, re-run them in full.
+
+        Both stages run on ``engine`` — one engine, one warm pool: the
+        finals dispatch onto the workers the screen already spawned.
+        """
         self.last_screen = ranked(engine.run(self.screen_points),
                                   objective)
         survivors = max(1, math.ceil(len(self.last_screen) / self.eta))
