@@ -514,6 +514,138 @@ def measure_sweep(scale: float, repeats: int,
     return record, failures
 
 
+# ---------------------------------------------------------------------------
+# Statistical evaluation experiment (replication overhead + CRN).
+# ---------------------------------------------------------------------------
+
+#: Fixed replicate count for the replication-overhead measurement.
+STATS_REPLICATES = 4
+
+
+def measure_stats(scale: float, repeats: int,
+                  workers: int = SWEEP_WORKERS):
+    """Replicated-run overhead and CRN variance reduction; returns
+    ``(record, failures)``.
+
+    Times a fixed-R :class:`repro.stats.ReplicatedRunner` pass over the
+    benchmark space against single-run ``engine.run()`` on the same
+    warm pool, recording the per-replicate cost relative to a plain
+    per-point run (``overhead_ratio`` — the price of the replication
+    layer itself, since the simulations are identical work).
+
+    Deterministic gates in every mode: two replicated passes must
+    produce bit-identical report rows (the ensemble determinism
+    invariant), and on the close-pair clock comparison (same fabric,
+    10ns vs 12ns, screening-length workload — the regime CRN is for)
+    the common-random-numbers difference stddev must be strictly
+    smaller than the independent-seeds one.
+    """
+    import dataclasses
+
+    from repro.explore import DesignSpace, standard_workloads
+    from repro.stats import ReplicatedRunner, ReplicationPolicy, \
+        paired_compare
+    from repro.sweep import SweepEngine, points_for_space
+
+    failures = []
+    space = DesignSpace(
+        fabrics=("plb", "generic", "crossbar"),
+        arbiters=("static-priority", "round-robin"),
+        clock_periods=(ns(10),),
+        max_bursts=(16,),
+    )
+    specs = [s.scaled(scale) for s in standard_workloads()["mixed"]]
+    points = points_for_space(space, specs, workload="mixed")
+    policy = ReplicationPolicy(r_min=STATS_REPLICATES,
+                               r_max=STATS_REPLICATES)
+
+    with SweepEngine(workers=workers) as engine:
+        engine.run(points)  # spawn + warm the pool off the clock
+
+        best_single = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            engine.run(points)
+            wall = time.perf_counter() - start
+            if best_single is None or wall < best_single:
+                best_single = wall
+
+        runner = ReplicatedRunner(engine, policy)
+        best_repl = None
+        first_rows = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            outcomes = runner.run(points)
+            wall = time.perf_counter() - start
+            if best_repl is None or wall < best_repl:
+                best_repl = wall
+            rows = [o.row() for o in outcomes]
+            if first_rows is None:
+                first_rows = rows
+            elif rows != first_rows:
+                failures.append(
+                    "replicated passes over the same points produced "
+                    "different report rows"
+                )
+        total_replicates = len(points) * STATS_REPLICATES
+
+        # CRN vs independent seeds on the close-pair clock comparison.
+        # Screening-length specs regardless of --quick: variance
+        # reduction is a statistical property of the short, contended
+        # regime, not a throughput number to scale.
+        short_specs = [s.scaled(0.1)
+                       for s in standard_workloads()["mixed"]]
+        crn_space = DesignSpace(
+            fabrics=("plb",), arbiters=("round-robin",),
+            clock_periods=(ns(10),), max_bursts=(16,),
+        )
+        point_a = points_for_space(crn_space, short_specs,
+                                   workload="mixed")[0]
+        point_b = dataclasses.replace(
+            point_a,
+            config=dataclasses.replace(point_a.config,
+                                       clock_period=ns(12)),
+        )
+        crn = paired_compare(engine, point_a, point_b, replicates=8,
+                             crn=True)
+        ind = paired_compare(engine, point_a, point_b, replicates=8,
+                             crn=False)
+        if ind.difference.stddev > 0:
+            ratio = crn.difference.stddev / ind.difference.stddev
+        else:
+            ratio = 0.0 if crn.difference.stddev == 0 else float("inf")
+        if ratio >= 1.0:
+            failures.append(
+                f"CRN did not reduce the paired-difference stddev on "
+                f"the close-pair clock comparison: {crn.difference.stddev:.3f}"
+                f" (crn) vs {ind.difference.stddev:.3f} (independent)"
+            )
+
+    per_replicate = best_repl / total_replicates
+    per_point = best_single / len(points)
+    record = {
+        "points": len(points),
+        "replicates_per_point": STATS_REPLICATES,
+        "workers": workers,
+        "cpus": _available_cpus(),
+        "single_wall_s": round(best_single, 5),
+        "replicated_wall_s": round(best_repl, 5),
+        "replicates_per_s": round(total_replicates / best_repl, 2)
+        if best_repl > 0 else float("inf"),
+        "per_replicate_ms": round(per_replicate * 1e3, 4),
+        "per_point_single_ms": round(per_point * 1e3, 4),
+        # >1.0 means a replicate costs more than a plain point run —
+        # the replication layer's own overhead (seed derivation, extra
+        # point objects, pooling) on identical simulation work.
+        "overhead_ratio": round(per_replicate / per_point, 3)
+        if per_point > 0 else float("inf"),
+        "crn_variance_ratio": round(ratio, 4),
+        "crn_difference_stddev": round(crn.difference.stddev, 4),
+        "independent_difference_stddev": round(ind.difference.stddev, 4),
+    }
+    return record, failures
+
+
 KERNEL_WORKLOADS = [
     ("timed_storm", timed_storm),
     ("timed_events", timed_events),
@@ -565,9 +697,22 @@ def run_e1_levels(repeats: int) -> dict:
 # ---------------------------------------------------------------------------
 
 def compare(kernel: dict, e1: dict, baseline: dict,
-            sweep: Optional[dict] = None):
+            sweep: Optional[dict] = None,
+            stats: Optional[dict] = None):
     """Annotate results with speedups; return the list of regressions."""
     regressions = []
+    base_repl_rate = baseline.get("stats_replicates_per_s")
+    if stats and base_repl_rate:
+        ratio = stats["replicates_per_s"] / base_repl_rate
+        stats["baseline_replicates_per_s"] = base_repl_rate
+        stats["vs_baseline"] = round(ratio, 2)
+        if stats.get("cpus", 1) <= 1:
+            # Same reasoning as the sweep rate gate: one CPU measures
+            # core starvation, not the replication layer.  The
+            # deterministic gates in measure_stats() still apply.
+            stats["vs_baseline_note"] = "rate gate skipped on 1 cpu"
+        elif ratio < 1.0 - REGRESSION_TOLERANCE:
+            regressions.append(("stats/replicates_per_s", ratio))
     base_sweep_rate = baseline.get("sweep_points_per_s")
     if sweep and base_sweep_rate:
         ratio = sweep["parallel_points_per_s"] / base_sweep_rate
@@ -678,13 +823,15 @@ def main(argv=None) -> int:
                 f"({sweep['parallel_points_per_s']} vs "
                 f"{sweep['serial_points_per_s']} points/s)"
             )
+    stats, stats_failures = measure_stats(scale, args.repeat,
+                                          workers=args.sweep_workers)
     obs_failures = (noop_hook_check() + fault_off_check()
-                    + sweep_failures)
+                    + sweep_failures + stats_failures)
 
     baseline = {}
     if args.baseline.exists() and not args.quick:
         baseline = json.loads(args.baseline.read_text())
-    regressions = compare(kernel, e1, baseline, sweep=sweep)
+    regressions = compare(kernel, e1, baseline, sweep=sweep, stats=stats)
     base_obs_off = baseline.get("obs_off_rate_per_s")
     if base_obs_off:
         obs["baseline_off_rate_per_s"] = base_obs_off
@@ -703,6 +850,7 @@ def main(argv=None) -> int:
         "e1": e1,
         "obs": obs,
         "sweep": sweep,
+        "stats": stats,
     }
     args.output.write_text(json.dumps(record, indent=1) + "\n")
     print_report(kernel, e1)
@@ -718,6 +866,13 @@ def main(argv=None) -> int:
           f"{sweep['dispatch_overhead_ms']:.2f}ms), warm cache "
           f"{sweep['warm_cache_wall_s'] * 1e3:.1f}ms at "
           f"{sweep['cache_hit_rate']:.0%} hits")
+    print(f"stats: {stats['points']} points x "
+          f"{stats['replicates_per_point']} replicates in "
+          f"{stats['replicated_wall_s'] * 1e3:.0f}ms "
+          f"({stats['replicates_per_s']:.1f} replicates/s, "
+          f"x{stats['overhead_ratio']:.2f} per-replicate vs plain "
+          f"point), CRN variance ratio "
+          f"{stats['crn_variance_ratio']:.2f}")
     print(f"wrote {args.output}")
 
     if obs_failures:
@@ -742,6 +897,7 @@ def main(argv=None) -> int:
             "obs_off_rate_per_s": obs["off_rate_per_s"],
             "sweep_points_per_s": sweep["parallel_points_per_s"],
             "sweep_dispatch_overhead_ms": sweep["dispatch_overhead_ms"],
+            "stats_replicates_per_s": stats["replicates_per_s"],
         }
         args.baseline.write_text(json.dumps(new_baseline, indent=2) + "\n")
         print(f"re-recorded baseline at {args.baseline}")

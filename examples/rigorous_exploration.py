@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Statistically rigorous architecture evaluation with ``repro.stats``.
+
+A single seeded simulation ranks design points by point estimates —
+close calls are coin flips.  This example runs the full rigorous
+workflow on a small design space over the mixed CPU/DMA/sync workload:
+
+1. a CI-backed sweep: every point replicated under a sequential
+   stopping rule ("grow until the 95% CI half-width is within 5% of
+   the mean, cap at 8 replicates"), ranked by estimate;
+2. steady-state estimation on the winner: MSER transient truncation
+   plus batch means over the per-transaction latency series;
+3. a common-random-numbers paired comparison — is the shared-bus
+   candidate measurably hurt by a 20% slower clock? — on a cheap
+   screening-length workload, against the same comparison with
+   independent seeds, to show the variance reduction CRN buys on
+   exactly this kind of close, contended question.
+
+Run:  python examples/rigorous_exploration.py
+"""
+
+import dataclasses
+import os
+import time
+
+from repro.kernel import ns
+from repro.explore import DesignSpace, run_point, standard_workloads
+from repro.stats import (
+    ReplicationPolicy,
+    master_latency_estimate,
+    paired_compare,
+)
+from repro.sweep import GridSearch, SweepEngine
+
+WORKLOAD = "mixed"
+
+
+def main():
+    space = DesignSpace(
+        fabrics=("plb", "generic", "crossbar"),
+        arbiters=("static-priority", "round-robin"),
+        clock_periods=(ns(10),),
+        max_bursts=(16,),
+    )
+    specs = standard_workloads()[WORKLOAD]
+    workers = min(4, os.cpu_count() or 1)
+    policy = ReplicationPolicy(r_min=2, r_max=8, ci_target=0.05)
+    print(f"design space: {len(space)} configurations, workload "
+          f"{WORKLOAD}, ci-target 5% @ 95%, 2..8 replicates "
+          f"({workers} worker process(es))\n")
+
+    # -- 1. CI-backed ranking -------------------------------------------------
+    with SweepEngine(workers=workers) as engine:
+        wall_start = time.perf_counter()
+        search = GridSearch(space, specs, workload=WORKLOAD)
+        outcomes = search.run(engine, replication=policy)
+        wall = time.perf_counter() - wall_start
+
+        print("=== CI-backed ranking (mean latency, ns) ===")
+        for rank, outcome in enumerate(outcomes, start=1):
+            est = outcome.estimate
+            stopped = ("met target" if outcome.met_target
+                       else "hit cap")
+            print(f"{rank:2d}. {outcome.result.config.name:40s} "
+                  f"{est.mean:8.2f} ± {est.half_width:5.2f} "
+                  f"({est.relative_half_width:5.1%}, "
+                  f"{outcome.replicates} replicates, {stopped})")
+        total = sum(o.replicates for o in outcomes)
+        print(f"\n{total} replicate runs across {len(outcomes)} points "
+              f"in {wall:.2f} s — the stopping rule spends replicates "
+              f"only where the interval is still too wide\n")
+
+        best, runner_up = outcomes[0], outcomes[1]
+        overlap = (best.estimate.upper >= runner_up.estimate.lower)
+        print(f"winner: {best.result.config.name}; its CI "
+              f"{'overlaps' if overlap else 'is clear of'} the "
+              f"runner-up's — "
+              f"[{best.estimate.lower:.1f}, {best.estimate.upper:.1f}] "
+              f"vs [{runner_up.estimate.lower:.1f}, "
+              f"{runner_up.estimate.upper:.1f}]\n")
+
+        # -- 2. Steady-state estimate on the winner ---------------------------
+        result = run_point(best.point.config, list(specs),
+                           workload_name=WORKLOAD,
+                           record_series=True)
+        print("=== steady-state latency of the winner, per master ===")
+        for spec in specs:
+            est = master_latency_estimate(result, master=spec.name)
+            d = est.diagnostics
+            print(f"{spec.name:6s} {est.mean:7.2f} ± {est.half_width:5.2f} ns "
+                  f"({est.method}: dropped {d['truncated']} warm-up "
+                  f"sample(s), {d['batches']} batches, lag-1 "
+                  f"{d['lag1_autocorr']:+.2f})")
+        pooled = master_latency_estimate(result)
+        print(f"pooled {pooled.mean:7.2f} ± {pooled.half_width:5.2f} ns "
+              f"(lag-1 {pooled.diagnostics['lag1_autocorr']:+.2f} — the "
+              f"diagnostic flags the pooled series: masters with very "
+              f"different latencies should be read separately)\n")
+
+        # -- 3. CRN paired comparison: clock sensitivity ----------------------
+        # The crossbar usually wins by avoiding contention outright;
+        # the interesting sensitivity question falls to the cheaper
+        # shared-bus candidate: does a 20% slower clock measurably
+        # hurt it?  Screening-length replicates keep each run cheap —
+        # and short, contended runs are exactly where seed-to-seed
+        # workload noise dominates and CRN pays off.
+        shared = next(o for o in outcomes
+                      if o.result.config.fabric != "crossbar")
+        short_specs = tuple(s.scaled(0.1) for s in specs)
+        base = dataclasses.replace(shared.point, specs=short_specs)
+        slower = dataclasses.replace(
+            base,
+            config=dataclasses.replace(base.config,
+                                       clock_period=ns(12)),
+        )
+        print(f"=== paired comparison: {shared.result.config.name} "
+              f"at 100 MHz vs 83 MHz (screening length) ===")
+        crn = paired_compare(engine, base, slower,
+                             replicates=8, crn=True)
+        ind = paired_compare(engine, base, slower,
+                             replicates=8, crn=False)
+        for label, cmp in (("common random numbers", crn),
+                           ("independent seeds", ind)):
+            diff = cmp.difference
+            verdict = (f"faster clock wins" if cmp.significant
+                       else "not significant")
+            print(f"{label:22s} Δ = {diff.mean:+7.2f} ± "
+                  f"{diff.half_width:5.2f} ns  ({verdict})")
+        if crn.difference.stddev > 0:
+            ratio = ind.difference.stddev / crn.difference.stddev
+            print(f"\nCRN shrinks the difference stddev {ratio:.1f}x "
+                  f"— sharper comparisons from the same replication "
+                  f"budget")
+        else:
+            print("\nCRN cancelled the workload noise completely — "
+                  "the paired difference is exact")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,9 +28,11 @@ from repro.explore.space import (
 )
 from repro.explore.workload import (
     PATTERNS,
+    SUBSTREAMS,
     MasterTrafficSpec,
     TrafficMaster,
     standard_workloads,
+    substream_seed,
 )
 
 __all__ = [
@@ -45,7 +47,9 @@ __all__ = [
     "PointResult",
     "MasterTrafficSpec",
     "PATTERNS",
+    "SUBSTREAMS",
     "TrafficMaster",
+    "substream_seed",
     "build_fabric",
     "decode_payload",
     "explore",

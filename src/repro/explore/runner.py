@@ -30,7 +30,13 @@ from repro.explore.workload import MasterTrafficSpec, TrafficMaster
 
 @dataclass
 class MasterMetrics:
-    """Measured behaviour of one traffic master."""
+    """Measured behaviour of one traffic master.
+
+    ``latency_series`` is the per-transaction latency series (ns
+    floats, completion order), present only when the point ran with
+    ``record_series=True`` — the raw material of steady-state
+    estimation in :mod:`repro.stats.steady`.
+    """
 
     name: str
     completed: int
@@ -38,10 +44,15 @@ class MasterMetrics:
     bytes_done: int
     mean_latency_ns: float
     max_latency_ns: float
+    latency_series: Optional[List[float]] = None
 
     def to_dict(self) -> dict:
-        """JSON-able dict of every field."""
-        return {
+        """JSON-able dict of every field.
+
+        The series key is emitted only when a series was recorded, so
+        series-free results keep their historical (compact) shape.
+        """
+        data = {
             "name": self.name,
             "completed": self.completed,
             "errors": self.errors,
@@ -49,10 +60,14 @@ class MasterMetrics:
             "mean_latency_ns": self.mean_latency_ns,
             "max_latency_ns": self.max_latency_ns,
         }
+        if self.latency_series is not None:
+            data["latency_series"] = list(self.latency_series)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "MasterMetrics":
         """Rebuild from :meth:`to_dict` output."""
+        series = data.get("latency_series")
         return cls(
             name=data["name"],
             completed=data["completed"],
@@ -60,6 +75,7 @@ class MasterMetrics:
             bytes_done=data["bytes_done"],
             mean_latency_ns=data["mean_latency_ns"],
             max_latency_ns=data["max_latency_ns"],
+            latency_series=None if series is None else list(series),
         )
 
 
@@ -300,6 +316,8 @@ def run_point(
     metrics=None,
     observer=None,
     faults: Optional[FaultSpec] = None,
+    rng_streams: bool = False,
+    record_series: bool = False,
 ) -> ExplorationResult:
     """Simulate one design point to workload completion.
 
@@ -309,7 +327,11 @@ def run_point(
     slowing the rest of the sweep.  ``faults`` (a :class:`FaultSpec`)
     injects seeded bus errors, decode misses and memory bit flips into
     this point; the resulting ``repro.faults.FaultPlan`` rides back on
-    :attr:`ExplorationResult.fault_plan`.
+    :attr:`ExplorationResult.fault_plan`.  ``rng_streams`` switches the
+    traffic masters to per-``(master, stream)`` RNG substreams (the
+    common-random-numbers discipline of :mod:`repro.stats`), and
+    ``record_series`` exports each master's per-transaction latency
+    series on its :class:`MasterMetrics` for steady-state estimation.
     """
     ctx = SimContext(name=f"explore_{config.name}")
     top = Module("top", ctx=ctx)
@@ -368,7 +390,9 @@ def run_point(
         socket = fabric.master_socket(spec.name, priority=spec.priority)
         masters.append(
             TrafficMaster(f"tm_{spec.name}", top, socket=socket,
-                          spec=effective, seed=seed)
+                          spec=effective, seed=seed,
+                          rng_streams=rng_streams,
+                          record_series=record_series)
         )
     wall_start = time.perf_counter()
     ctx.run(max_sim_time)
@@ -381,6 +405,7 @@ def run_point(
             bytes_done=m.bytes_done,
             mean_latency_ns=m.latency.mean_ns,
             max_latency_ns=m.latency.max_ns,
+            latency_series=m.latency_series,
         )
         for m in masters
     ]
@@ -426,6 +451,9 @@ def decode_payload(payload: dict) -> dict:
         "faults": None if faults is None else FaultSpec.from_dict(faults),
         "memory_read_wait": payload["memory_read_wait"],
         "memory_write_wait": payload["memory_write_wait"],
+        # .get() keeps payloads from pre-stats callers decodable.
+        "rng_streams": payload.get("rng_streams", False),
+        "record_series": payload.get("record_series", False),
     }
 
 

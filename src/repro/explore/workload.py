@@ -22,6 +22,30 @@ from repro.trace.stats import TimeStats
 #: Supported traffic patterns.
 PATTERNS = ("stream", "random", "pingpong")
 
+#: RNG substream names a traffic master draws from, in the order they
+#: exist: addresses, read/write coin flips, inter-transaction gaps,
+#: write payload words.  Keeping each decision on its own stream is
+#: what makes common-random-numbers work across design points — a
+#: config that clamps bursts (consuming fewer data words) no longer
+#: desynchronizes the address and gap draws of every later
+#: transaction.
+SUBSTREAMS = ("addr", "rw", "gap", "data")
+
+
+def substream_seed(seed: int, master: str, stream: str) -> str:
+    """Canonical seed string of one ``(master, stream)`` RNG substream.
+
+    String seeds are stable across interpreter processes (tuple hashes
+    are not — see :class:`TrafficMaster`); the exact format is a
+    compatibility contract pinned by tests, like ``cache_key()``:
+    changing it changes every substream-seeded simulation result.
+    """
+    if stream not in SUBSTREAMS:
+        raise ValueError(
+            f"unknown substream {stream!r}; expected one of {SUBSTREAMS}"
+        )
+    return f"{seed}:{master}:{stream}"
+
 
 @dataclass
 class MasterTrafficSpec:
@@ -117,11 +141,22 @@ class MasterTrafficSpec:
 
 
 class TrafficMaster(Module):
-    """Drives one blocking-transport socket with generated traffic."""
+    """Drives one blocking-transport socket with generated traffic.
+
+    ``rng_streams=True`` gives every decision kind its own RNG
+    substream seeded by :func:`substream_seed` — the common-random-
+    numbers discipline paired design-point comparisons rely on.  Off
+    (the default), all decisions share one RNG exactly as before, so
+    existing seeds reproduce byte-identical traffic.
+    ``record_series=True`` additionally stores the per-transaction
+    latency series (ns floats, completion order) for steady-state
+    estimation in :mod:`repro.stats`.
+    """
 
     def __init__(self, name, parent=None, ctx=None,
                  socket=None, spec: MasterTrafficSpec = None,
-                 seed: int = 1):
+                 seed: int = 1, rng_streams: bool = False,
+                 record_series: bool = False):
         super().__init__(name, parent, ctx)
         if socket is None or spec is None:
             raise SimulationError(
@@ -134,7 +169,24 @@ class TrafficMaster(Module):
         # includes the PYTHONHASHSEED-salted string hash and silently
         # broke cross-process reproducibility.
         self.rng = random.Random(f"{seed}:{spec.name}")
+        if rng_streams:
+            self._rng_addr = random.Random(
+                substream_seed(seed, spec.name, "addr"))
+            self._rng_rw = random.Random(
+                substream_seed(seed, spec.name, "rw"))
+            self._rng_gap = random.Random(
+                substream_seed(seed, spec.name, "gap"))
+            self._rng_data = random.Random(
+                substream_seed(seed, spec.name, "data"))
+        else:
+            # All four names alias the one shared RNG: the draw order
+            # is unchanged from the pre-substream implementation, so
+            # default-mode results stay byte-identical.
+            self._rng_addr = self._rng_rw = self.rng
+            self._rng_gap = self._rng_data = self.rng
+        self.rng_streams = rng_streams
         self.latency = TimeStats()
+        self.latency_series = [] if record_series else None
         self.bytes_done = 0
         self.completed = 0
         self.errors = 0
@@ -152,11 +204,12 @@ class TrafficMaster(Module):
             self._stream_offset = (self._stream_offset + span) % (
                 spec.size - span + 1 if spec.size > span else 1
             )
-            is_read = self.rng.random() < spec.read_fraction
+            is_read = self._rng_rw.random() < spec.read_fraction
         elif spec.pattern == "random":
             slots = max((spec.size - span) // spec.word_bytes, 1)
-            addr = spec.base + self.rng.randrange(slots) * spec.word_bytes
-            is_read = self.rng.random() < spec.read_fraction
+            addr = (spec.base
+                    + self._rng_addr.randrange(slots) * spec.word_bytes)
+            is_read = self._rng_rw.random() < spec.read_fraction
         else:  # pingpong
             addr = spec.base
             is_read = bool(index % 2)
@@ -166,7 +219,8 @@ class TrafficMaster(Module):
                 word_bytes=spec.word_bytes,
             )
         data = [
-            self.rng.randrange(1 << 32) for _ in range(spec.burst_length)
+            self._rng_data.randrange(1 << 32)
+            for _ in range(spec.burst_length)
         ]
         return OcpRequest(
             OcpCmd.WR, addr, data=data, burst_length=spec.burst_length,
@@ -177,7 +231,7 @@ class TrafficMaster(Module):
         mean_fs = self.spec.gap.femtoseconds
         if mean_fs == 0:
             return ZERO_TIME
-        return SimTime(self.rng.randrange(2 * mean_fs + 1))
+        return SimTime(self._rng_gap.randrange(2 * mean_fs + 1))
 
     # -- the driver process ---------------------------------------------------------
 
@@ -191,7 +245,10 @@ class TrafficMaster(Module):
             request = self._next_request(index)
             begin = self.ctx.now
             response = yield from self.socket.transport(request)
-            self.latency.add(self.ctx.now - begin)
+            elapsed = self.ctx.now - begin
+            self.latency.add(elapsed)
+            if self.latency_series is not None:
+                self.latency_series.append(elapsed.to("ns"))
             if response.ok:
                 self.bytes_done += request.nbytes
             else:

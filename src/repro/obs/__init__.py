@@ -27,6 +27,7 @@ from repro.obs.hooks import CountingObserver, ObserverGroup, SimObserver
 from repro.obs.instruments import watch_fifo, watch_recorder
 from repro.obs.metrics import (
     Counter,
+    EstimateSummary,
     Gauge,
     HistogramMetric,
     MetricsRegistry,
@@ -38,6 +39,7 @@ from repro.obs.trace_events import TraceEventCollector
 __all__ = [
     "Counter",
     "CountingObserver",
+    "EstimateSummary",
     "Gauge",
     "HistogramMetric",
     "MetricsRegistry",

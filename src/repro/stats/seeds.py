@@ -1,0 +1,60 @@
+"""Seed derivation for replicated runs and common random numbers.
+
+Every replicate of a design point must be (a) statistically
+independent of its siblings, (b) bit-reproducible anywhere, and
+(c) derivable without coordination — a worker that knows the point and
+the replicate index knows the seed.  Deriving replicate seeds from the
+point's *content key* (a SHA-256 over everything that affects the
+simulation) gives all three: the derivation below is pure, and its
+exact format is a golden-pinned compatibility contract, just like
+``ArchitectureConfig.cache_key()`` — changing it silently changes
+every replicated result, so tests pin representative values.
+
+The per-``(master, stream)`` substream half of the discipline lives
+next to the traffic generator
+(:func:`repro.explore.workload.substream_seed`) and is re-exported
+here so :mod:`repro.stats` is the one-stop seed-derivation namespace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.explore.workload import SUBSTREAMS, substream_seed
+
+__all__ = [
+    "SUBSTREAMS",
+    "crn_pair_base",
+    "replicate_seed",
+    "substream_seed",
+]
+
+
+def replicate_seed(base_key: str, replicate: int) -> int:
+    """Derive the workload seed of one replicate from a content key.
+
+    The seed is the top 64 bits of
+    ``SHA-256(f"{base_key}|replicate={replicate}")`` — uniform,
+    collision-free in practice, and stable across processes and python
+    versions.  ``base_key`` is normally
+    :meth:`repro.sweep.SweepPoint.key`, so two *different* design
+    points never share replicate seeds (independent by construction),
+    while CRN pairing passes a shared :func:`crn_pair_base` instead.
+    """
+    if replicate < 0:
+        raise ValueError(f"replicate index must be >= 0, got {replicate}")
+    text = f"{base_key}|replicate={replicate}"
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return int(digest[:16], 16)
+
+
+def crn_pair_base(key_a: str, key_b: str) -> str:
+    """Shared seed-derivation base for a CRN-paired comparison.
+
+    Order-independent (the keys are sorted), so ``compare(a, b)`` and
+    ``compare(b, a)`` draw identical traffic.  Feeding the result to
+    :func:`replicate_seed` gives both sides of replicate ``r`` the
+    same workload seed — the whole point of common random numbers.
+    """
+    lo, hi = sorted((key_a, key_b))
+    return f"crn[{lo}|{hi}]"

@@ -12,10 +12,18 @@ Examples::
         --fabrics plb,generic --strategy halving --cache /tmp/sweep
     PYTHONPATH=src python -m repro.sweep --workload mixed \\
         --cache /tmp/sweep --require-cached   # resume must be all-hits
+    PYTHONPATH=src python -m repro.sweep --workload mixed \\
+        --ci-target 0.02 --max-replicates 8   # CI-backed ranking
 
 With ``--cache DIR`` results persist across invocations: an interrupted
 sweep resumes where it stopped, and a repeated sweep is served entirely
 from cache (enforceable with ``--require-cached``).
+
+``--ci-target`` / ``--max-replicates`` switch the final ranking to the
+statistically rigorous mode of :mod:`repro.stats`: every ranked point
+runs as a seed-replicated ensemble (replicates cache individually, so
+resume still works) and the table reports mean ± confidence half-width
+with the replicate count the sequential stopping rule settled on.
 """
 
 from __future__ import annotations
@@ -122,6 +130,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="ranking objective (default: mean_latency_ns)",
     )
     parser.add_argument(
+        "--ci-target", type=float, default=None,
+        help="replicate each ranked point until its CI half-width is "
+             "within this fraction of the mean (e.g. 0.02 = 2%%)",
+    )
+    parser.add_argument(
+        "--max-replicates", type=int, default=None,
+        help="replicate cap per ranked point; setting it without "
+             "--ci-target runs exactly this many replicates "
+             "(default when replicating: 8)",
+    )
+    parser.add_argument(
+        "--min-replicates", type=int, default=2,
+        help="replicates each point starts with under --ci-target "
+             "(default: 2)",
+    )
+    parser.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="two-sided confidence level of replicated estimates "
+             "(default: 0.95)",
+    )
+    parser.add_argument(
         "--workers", type=_workers_arg, default=1,
         help="worker processes: a count, or 'auto' for one per CPU "
              "(default: 1 = in-process)",
@@ -226,9 +255,75 @@ def rank_rows(outcomes: List[SweepOutcome],
     return rows
 
 
+def rank_replicated_rows(outcomes) -> List[dict]:
+    """Numbered report rows for ranked replicated outcomes."""
+    rows = []
+    for rank, outcome in enumerate(outcomes, start=1):
+        row = outcome.row()
+        row["rank"] = rank
+        rows.append(row)
+    return rows
+
+
+def _format_replicated_rows(rows: List[dict]) -> str:
+    """Fixed-width table over ranked CI-backed rows."""
+    if not rows:
+        return "(no results)"
+    headers = ["rank", "config", "mean", "half_width", "rel_hw",
+               "replicates", "met_target"]
+    rendered = [
+        {
+            "rank": str(row["rank"]),
+            "config": row["config"],
+            "mean": f"{row['mean']:.2f}",
+            "half_width": f"{row['half_width']:.2f}",
+            "rel_hw": f"{row['relative_half_width']:.2%}",
+            "replicates": str(row["replicates"]),
+            "met_target": str(row["met_target"]),
+        }
+        for row in rows
+    ]
+    widths = {
+        h: max(len(h), *(len(r[h]) for r in rendered)) for h in headers
+    }
+    lines = [
+        "  ".join(h.ljust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for r in rendered:
+        lines.append("  ".join(r[h].ljust(widths[h]) for h in headers))
+    return "\n".join(lines)
+
+
+def _replication_policy(args, parser):
+    """The :class:`~repro.stats.ReplicationPolicy` the flags request.
+
+    Returns None when neither ``--ci-target`` nor ``--max-replicates``
+    was given — the plain single-run sweep.
+    """
+    if args.ci_target is None and args.max_replicates is None:
+        return None
+    from repro.stats.replicate import ReplicationPolicy
+
+    r_max = 8 if args.max_replicates is None else args.max_replicates
+    try:
+        # r_min is clamped to the cap so "--max-replicates 1" means
+        # exactly one replicate instead of an argument error.
+        return ReplicationPolicy(
+            r_min=min(args.min_replicates, r_max),
+            r_max=r_max,
+            ci_target=args.ci_target,
+            confidence=args.confidence,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    replication = _replication_policy(args, parser)
     space = DesignSpace(
         fabrics=tuple(args.fabrics),
         arbiters=tuple(args.arbiters),
@@ -248,34 +343,63 @@ def main(argv: Optional[List[str]] = None) -> int:
     with SweepEngine(workers=args.workers, store=store,
                      oversubscribe=oversubscribe) as engine:
         wall_start = time.perf_counter()
-        outcomes = strategy.run(engine, objective=args.objective)
+        outcomes = strategy.run(engine, objective=args.objective,
+                                replication=replication)
         wall = time.perf_counter() - wall_start
         pool_spawns = engine.pool_spawns
         pool_reuses = engine.pool_reuses
 
+    if replication is not None:
+        # Cache provenance over every replicate, before any --top cut.
+        replicate_runs = [o for ro in outcomes for o in ro.outcomes]
+        cached = sum(1 for o in replicate_runs if o.cached)
+        computed = len(replicate_runs) - cached
+    else:
+        cached = engine.last_cached
+        computed = engine.last_computed
     if args.top is not None:
         outcomes = outcomes[:args.top]
-    rows = rank_rows(outcomes, args.objective)
+    if replication is not None:
+        rows = rank_replicated_rows(outcomes)
+    else:
+        rows = rank_rows(outcomes, args.objective)
     report = {
         "workload": args.workload,
         "strategy": args.strategy,
         "objective": args.objective,
         "points": len(outcomes),
-        "computed": engine.last_computed,
-        "cached": engine.last_cached,
+        "computed": computed,
+        "cached": cached,
         "workers": engine.workers,
         "pool_spawns": pool_spawns,
         "pool_reuses": pool_reuses,
         "wall_s": round(wall, 4),
         "ranked": rows,
     }
-    print(_format_rows(rows))
+    if replication is not None:
+        report["replication"] = {
+            "ci_target": replication.ci_target,
+            "r_min": replication.r_min,
+            "r_max": replication.r_max,
+            "confidence": replication.confidence,
+        }
+        print(_format_replicated_rows(rows))
+    else:
+        print(_format_rows(rows))
     print(
         f"\nsweep: {report['points']} ranked point(s), "
         f"{report['cached']} cached / {report['computed']} computed, "
         f"{engine.workers} worker(s) ({pool_spawns} spawned, "
         f"{pool_reuses} warm reuse(s)), {wall:.2f} s"
     )
+    if replication is not None:
+        target = ("none (fixed)" if replication.ci_target is None
+                  else f"{replication.ci_target:.1%}")
+        print(
+            f"replication: ci-target {target}, "
+            f"{replication.r_min}..{replication.r_max} replicates/point, "
+            f"{len(replicate_runs)} replicate run(s) total"
+        )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=1)
@@ -288,9 +412,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 writer.writeheader()
                 writer.writerows(rows)
         print(f"wrote {args.csv}")
-    if args.require_cached and engine.last_computed:
+    if args.require_cached and computed:
         print(
-            f"--require-cached: {engine.last_computed} point(s) were "
+            f"--require-cached: {computed} point(s) were "
             f"simulated instead of served from cache", file=sys.stderr,
         )
         return 2

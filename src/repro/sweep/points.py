@@ -45,6 +45,13 @@ class SweepPoint:
     faults: Optional[FaultSpec] = None
     memory_read_wait: int = 1
     memory_write_wait: int = 1
+    #: per-(master, stream) RNG substreams — the CRN discipline of
+    #: :mod:`repro.stats`; changes the traffic draw sequence, so it is
+    #: part of the point's identity
+    rng_streams: bool = False
+    #: export per-transaction latency series on the result — changes
+    #: the cached payload shape, so it is part of the identity too
+    record_series: bool = False
 
     def __post_init__(self):
         # Tolerate lists from callers; the tuple keeps the point hashable.
@@ -68,6 +75,8 @@ class SweepPoint:
             else self.faults.to_dict(),
             "memory_read_wait": self.memory_read_wait,
             "memory_write_wait": self.memory_write_wait,
+            "rng_streams": self.rng_streams,
+            "record_series": self.record_series,
         }
 
     def key(self) -> str:
@@ -92,6 +101,8 @@ class SweepPoint:
             else self.faults.to_dict(),
             "memory_read_wait": self.memory_read_wait,
             "memory_write_wait": self.memory_write_wait,
+            "rng_streams": self.rng_streams,
+            "record_series": self.record_series,
         }
 
     @classmethod
@@ -109,6 +120,8 @@ class SweepPoint:
             faults=None if faults is None else FaultSpec.from_dict(faults),
             memory_read_wait=payload["memory_read_wait"],
             memory_write_wait=payload["memory_write_wait"],
+            rng_streams=payload.get("rng_streams", False),
+            record_series=payload.get("record_series", False),
         )
 
 

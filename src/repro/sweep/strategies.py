@@ -18,6 +18,16 @@ worker pool and result cache):
 
 Every strategy is deterministic for a given seed and returns outcomes
 ranked best-first on the chosen objective.
+
+Every strategy also accepts an optional ``replication`` policy
+(:class:`repro.stats.ReplicationPolicy`): the points that produce the
+final ranking then run as seed-replicated ensembles through
+:class:`repro.stats.ReplicatedRunner` — same engine, same warm pool —
+and ``run()`` returns :class:`repro.stats.ReplicatedOutcome` objects
+ranked by their CI-backed estimates instead of bare single-run
+outcomes.  :class:`SuccessiveHalving` keeps its screening stage
+single-run (screening is triage, not measurement) and replicates only
+the finalists.
 """
 
 from __future__ import annotations
@@ -33,6 +43,22 @@ from repro.sweep.engine import SweepEngine, SweepOutcome, ranked
 from repro.sweep.points import SweepPoint, points_for_space
 
 
+def _run_replicated(engine: SweepEngine, points, objective: str,
+                    replication):
+    """Replicate ``points`` per ``replication`` and rank by estimate.
+
+    The import is deferred so :mod:`repro.sweep` stays importable
+    without :mod:`repro.stats` on the path of every plain sweep (and
+    the two packages avoid a module-level import cycle).
+    """
+    from repro.stats.replicate import ReplicatedRunner, ranked_replicated
+
+    runner = ReplicatedRunner(engine, policy=replication,
+                              metrics=engine.metrics)
+    return ranked_replicated(runner.run(points, objective=objective),
+                             objective)
+
+
 class GridSearch:
     """Exhaustive sweep: one point per config in the space."""
 
@@ -46,8 +72,16 @@ class GridSearch:
         )
 
     def run(self, engine: SweepEngine,
-            objective: str = "mean_latency_ns") -> List[SweepOutcome]:
-        """Run every point; return outcomes ranked best-first."""
+            objective: str = "mean_latency_ns",
+            replication=None) -> List[SweepOutcome]:
+        """Run every point; return outcomes ranked best-first.
+
+        With a ``replication`` policy every point runs as a replicated
+        ensemble and the ranking is by CI-backed estimate.
+        """
+        if replication is not None:
+            return _run_replicated(engine, self.points, objective,
+                                   replication)
         return ranked(engine.run(self.points), objective)
 
 
@@ -72,8 +106,16 @@ class RandomSearch:
         )
 
     def run(self, engine: SweepEngine,
-            objective: str = "mean_latency_ns") -> List[SweepOutcome]:
-        """Run the sampled points; return outcomes ranked best-first."""
+            objective: str = "mean_latency_ns",
+            replication=None) -> List[SweepOutcome]:
+        """Run the sampled points; return outcomes ranked best-first.
+
+        With a ``replication`` policy every sampled point runs as a
+        replicated ensemble and the ranking is by CI-backed estimate.
+        """
+        if replication is not None:
+            return _run_replicated(engine, self.points, objective,
+                                   replication)
         return ranked(engine.run(self.points), objective)
 
 
@@ -109,6 +151,8 @@ class SuccessiveHalving:
                 max_sim_time=p.max_sim_time, seed=p.seed, faults=p.faults,
                 memory_read_wait=p.memory_read_wait,
                 memory_write_wait=p.memory_write_wait,
+                rng_streams=p.rng_streams,
+                record_series=p.record_series,
             )
             for p in self.full_points
         ]
@@ -116,11 +160,15 @@ class SuccessiveHalving:
         self.last_screen: List[SweepOutcome] = []
 
     def run(self, engine: SweepEngine,
-            objective: str = "mean_latency_ns") -> List[SweepOutcome]:
+            objective: str = "mean_latency_ns",
+            replication=None) -> List[SweepOutcome]:
         """Screen, prune to the top ``1/eta``, re-run them in full.
 
         Both stages run on ``engine`` — one engine, one warm pool: the
         finals dispatch onto the workers the screen already spawned.
+        With a ``replication`` policy the screening stage stays
+        single-run (it only decides who survives) and the finalists
+        run as replicated ensembles ranked by CI-backed estimate.
         """
         self.last_screen = ranked(engine.run(self.screen_points),
                                   objective)
@@ -133,4 +181,7 @@ class SuccessiveHalving:
             p for p in self.full_points
             if p.config.cache_key() in keep
         ]
+        if replication is not None:
+            return _run_replicated(engine, finalists, objective,
+                                   replication)
         return ranked(engine.run(finalists), objective)

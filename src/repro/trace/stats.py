@@ -54,6 +54,46 @@ class OnlineStats:
         """Population standard deviation."""
         return math.sqrt(self.variance)
 
+    @property
+    def sample_variance(self) -> float:
+        """Unbiased (n-1) sample variance; 0 below two samples."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def sample_stddev(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.sample_variance)
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean (sample stddev / sqrt(n))."""
+        if self.count < 2:
+            return 0.0
+        return self.sample_stddev / math.sqrt(self.count)
+
+    def confidence_interval(
+        self, confidence: float = 0.95,
+    ) -> Tuple[float, float]:
+        """Two-sided t-based CI for the mean at ``confidence``.
+
+        Because the moments merge exactly (:meth:`merge` is Chan's
+        parallel algorithm), the interval computed from a merged
+        statistic equals the one computed over the combined stream —
+        the merge-safe CI the replicated sweep runner pools on.  Below
+        two samples the interval is unbounded.
+        """
+        if self.count < 2:
+            return (-math.inf, math.inf)
+        # Lazy import: repro.stats builds on this module, so the
+        # t-quantile lookup must not be a module-level dependency.
+        from repro.stats.estimate import t_quantile
+
+        half = t_quantile(
+            0.5 + confidence / 2.0, self.count - 1) * self.sem
+        return (self.mean - half, self.mean + half)
+
     def merge(self, other: "OnlineStats") -> "OnlineStats":
         """Combine two statistics (Chan's parallel algorithm)."""
         merged = OnlineStats()
@@ -153,7 +193,11 @@ class Histogram:
         elif value >= self.high:
             self.overflow += 1
         else:
-            self.counts[int((value - self.low) / self._width)] += 1
+            # The division can round up to ``bins`` for values one ulp
+            # below ``high`` when the bin width itself rounded down;
+            # clamp instead of raising IndexError.
+            index = int((value - self.low) / self._width)
+            self.counts[min(index, self.bins - 1)] += 1
 
     @property
     def total(self) -> int:

@@ -73,8 +73,76 @@ class TestOnlineStats:
         assert merged.count == 1
         assert merged.mean == 5.0
 
+    def test_sample_variance_and_sem(self):
+        s = OnlineStats()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            s.add(v)
+        # ddof=1 variance of 1..4 is 5/3.
+        assert s.sample_variance == pytest.approx(5.0 / 3.0)
+        assert s.sample_stddev == pytest.approx((5.0 / 3.0) ** 0.5)
+        assert s.sem == pytest.approx(s.sample_stddev / 2.0)
+
+    def test_sample_moments_degenerate_below_two(self):
+        s = OnlineStats()
+        assert s.sample_variance == 0.0 and s.sem == 0.0
+        s.add(7.0)
+        assert s.sample_variance == 0.0 and s.sem == 0.0
+
+    @given(st.lists(st.floats(-1e5, 1e5), min_size=2, max_size=100))
+    def test_sample_variance_matches_numpy(self, values):
+        s = OnlineStats()
+        for v in values:
+            s.add(v)
+        assert s.sample_variance == pytest.approx(
+            np.var(values, ddof=1), rel=1e-6, abs=1e-4
+        )
+
+    def test_confidence_interval_known_multiplier(self):
+        s = OnlineStats()
+        for v in range(10):
+            s.add(float(v))
+        lo, hi = s.confidence_interval(0.95)
+        # t(0.975, 9) = 2.262; interval is mean +/- t * sem.
+        assert hi - s.mean == pytest.approx(2.262 * s.sem, rel=1e-3)
+        assert s.mean - lo == pytest.approx(hi - s.mean)
+        assert lo < s.mean < hi
+
+    def test_confidence_interval_unbounded_below_two(self):
+        s = OnlineStats()
+        s.add(3.0)
+        lo, hi = s.confidence_interval()
+        assert lo == float("-inf") and hi == float("inf")
+
+    def test_confidence_interval_merge_safe(self):
+        values = [float(v % 11) for v in range(30)]
+        a, b, c = OnlineStats(), OnlineStats(), OnlineStats()
+        for v in values[:13]:
+            a.add(v)
+        for v in values[13:]:
+            b.add(v)
+        for v in values:
+            c.add(v)
+        merged_lo, merged_hi = a.merge(b).confidence_interval()
+        lo, hi = c.confidence_interval()
+        assert merged_lo == pytest.approx(lo)
+        assert merged_hi == pytest.approx(hi)
+
 
 class TestTimeStats:
+    def test_zero_duration_samples_are_real_samples(self):
+        t = TimeStats()
+        t.add(ns(0))
+        t.add(ns(0))
+        assert t.count == 2
+        assert t.mean_ns == 0.0
+        assert t.min_ns == 0.0 and t.max_ns == 0.0
+        assert t.total_ns == 0.0
+        # A zero-duration sample must not vanish next to real ones.
+        t.add(ns(30))
+        assert t.count == 3
+        assert t.mean_ns == pytest.approx(10.0)
+        assert t.min_ns == 0.0
+
     def test_durations_tracked_in_ns(self):
         t = TimeStats()
         t.add(ns(10))
@@ -118,6 +186,27 @@ class TestHistogram:
         h = Histogram(0.0, 1.0)
         with pytest.raises(ValueError):
             h.quantile(1.5)
+
+    def test_float_rounding_near_high_edge_is_clamped(self):
+        # With bounds whose width is inexact in binary, a value one ulp
+        # below ``high`` can compute an index of ``bins``; it must land
+        # in the last bin instead of raising IndexError.
+        h = Histogram(0.0, 0.3, bins=3)
+        value = np.nextafter(0.3, 0.0)
+        h.add(float(value))
+        assert h.counts[2] == 1
+        assert h.overflow == 0
+
+    def test_quantile_edges(self):
+        empty = Histogram(0.0, 10.0, bins=5)
+        assert empty.quantile(0.0) == 0.0
+        assert empty.quantile(1.0) == 0.0  # no data: everything at low
+        single = Histogram(0.0, 10.0, bins=1)
+        single.add(4.0)
+        assert single.quantile(0.5) == pytest.approx(5.0)  # midpoint
+        h = Histogram(0.0, 10.0, bins=5)
+        h.add(20.0)  # only overflow
+        assert h.quantile(1.0) == 10.0
 
 
 class TestThroughputMeter:
