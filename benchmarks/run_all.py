@@ -53,6 +53,13 @@ REGRESSION_TOLERANCE = 0.10   # fail when >10% below baseline
 #: timed_storm rate may not sit more than 2% below the recorded
 #: baseline (full runs only; quick numbers are too noisy).
 OBS_OFF_TOLERANCE = 0.02
+#: Sweep telemetry must likewise be free when off: the telemetry-off
+#: warm parallel sweep rate may not sit more than 2% below the
+#: recorded ``sweep_points_per_s`` baseline (full multi-CPU runs only,
+#: mirroring the obs-off gate).  The structural form of the same
+#: guarantee — ``repro.obs.telemetry`` must never even be imported on
+#: a telemetry-off sweep — gates in every mode.
+TELEMETRY_OFF_TOLERANCE = 0.02
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernel.json"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
 
@@ -390,8 +397,11 @@ def measure_sweep(scale: float, repeats: int,
 
     Deterministic gates in every mode: engine results must equal the
     serial loop's bit-for-bit, warm runs must spawn **zero** new
-    processes, the second cached run must hit for 100% of points, and
-    cached results must equal computed ones.
+    processes, the second cached run must hit for 100% of points,
+    cached results must equal computed ones,
+    ``repro.obs.telemetry`` must never get imported on the
+    telemetry-off sweeps, and a telemetry-on pass over the same points
+    must reproduce the telemetry-off results bit-for-bit.
     """
     import tempfile
 
@@ -458,6 +468,45 @@ def measure_sweep(scale: float, repeats: int,
             "loop"
         )
 
+    # Structural telemetry-off guarantee: none of the sweeps above had
+    # telemetry attached, so the telemetry module must never have been
+    # imported — the off path is import-free, not just cheap.  (The
+    # telemetry-on measurement below imports it, so order matters.)
+    if "repro.obs.telemetry" in sys.modules:
+        failures.append(
+            "repro.obs.telemetry was imported during telemetry-off "
+            "sweeps; the off path must stay import-free"
+        )
+
+    # Telemetry-on measurement: same points, warm pool, full telemetry
+    # (ledger + progress stream + merged trace).  Gates: results must
+    # stay bit-identical to the telemetry-off run, and the measured
+    # on/off ratio is recorded for the trajectory.
+    with tempfile.TemporaryDirectory(prefix="bench_tel_") as tel_dir:
+        from repro.obs.telemetry import SweepTelemetry
+
+        telemetry = SweepTelemetry(
+            ledger=tel_dir,
+            trace_path=os.path.join(tel_dir, "trace.json"),
+        )
+        with SweepEngine(workers=workers,
+                         telemetry=telemetry) as tel_engine:
+            tel_engine.run(points)  # spawn + warm off the clock
+            best_tel = None
+            tel_outcomes = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                outcomes = tel_engine.run(points)
+                wall = time.perf_counter() - start
+                if best_tel is None or wall < best_tel:
+                    best_tel, tel_outcomes = wall, outcomes
+        telemetry.close()
+        if [_det_row(o.result) for o in tel_outcomes] != parallel_rows:
+            failures.append(
+                "telemetry-on sweep results differ from telemetry-off "
+                "ones; telemetry must be observation-only"
+            )
+
     with tempfile.TemporaryDirectory(prefix="bench_sweep_") as cache_dir:
         with SweepEngine(workers=workers,
                          store=SweepStore(cache_dir)) as cached_engine:
@@ -501,6 +550,14 @@ def measure_sweep(scale: float, repeats: int,
         "pool": pool_stats,
         "warm_cache_wall_s": round(warm_wall, 5),
         "cache_hit_rate": hit_rate,
+        "telemetry_on_wall_s": round(best_tel, 5),
+        "telemetry_on_points_per_s": round(len(points) / best_tel, 2)
+        if best_tel > 0 else float("inf"),
+        # Warm telemetry-on rate over warm telemetry-off rate; the
+        # full-stack telemetry cost on this workload (informational —
+        # the gated guarantee is the *off* path staying free).
+        "telemetry_on_off_ratio": round(best_parallel / best_tel, 4)
+        if best_tel > 0 else 0.0,
     }
     if cpus == 1:
         # A single-CPU box cannot show parallel speedup — the number
@@ -725,6 +782,13 @@ def compare(kernel: dict, e1: dict, baseline: dict,
             sweep["vs_baseline_note"] = "rate gate skipped on 1 cpu"
         elif ratio < 1.0 - REGRESSION_TOLERANCE:
             regressions.append(("sweep/parallel_points_per_s", ratio))
+        elif ratio < 1.0 - TELEMETRY_OFF_TOLERANCE:
+            # Tighter telemetry-off gate, mirroring the obs-off one:
+            # the sweeps behind parallel_points_per_s run with no
+            # telemetry attached, so any drop beyond 2% vs the
+            # recorded baseline means the telemetry layer is taxing
+            # the off path it promised to leave alone.
+            regressions.append(("sweep/telemetry_off_rate", ratio))
     base_overhead = baseline.get("sweep_dispatch_overhead_ms")
     if sweep and base_overhead and sweep.get("dispatch_overhead_ms"):
         measured = sweep["dispatch_overhead_ms"]
@@ -846,6 +910,7 @@ def main(argv=None) -> int:
         "repeat": args.repeat,
         "regression_tolerance": REGRESSION_TOLERANCE,
         "obs_off_tolerance": OBS_OFF_TOLERANCE,
+        "telemetry_off_tolerance": TELEMETRY_OFF_TOLERANCE,
         "kernel": kernel,
         "e1": e1,
         "obs": obs,
@@ -866,6 +931,11 @@ def main(argv=None) -> int:
           f"{sweep['dispatch_overhead_ms']:.2f}ms), warm cache "
           f"{sweep['warm_cache_wall_s'] * 1e3:.1f}ms at "
           f"{sweep['cache_hit_rate']:.0%} hits")
+    print(f"sweep telemetry: on "
+          f"{sweep['telemetry_on_wall_s'] * 1e3:.0f}ms "
+          f"({sweep['telemetry_on_points_per_s']} points/s, "
+          f"x{sweep['telemetry_on_off_ratio']:.3f} of telemetry-off); "
+          f"off path import-free")
     print(f"stats: {stats['points']} points x "
           f"{stats['replicates_per_point']} replicates in "
           f"{stats['replicated_wall_s'] * 1e3:.0f}ms "

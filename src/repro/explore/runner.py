@@ -11,6 +11,7 @@ plus wall-clock cost, so exploration speed itself is measurable (E1/E3).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -477,6 +478,72 @@ def run_payload_batch(payloads: Sequence[dict]) -> List[dict]:
     per-point dispatch overhead amortizes to ~zero.
     """
     return [run_payload(payload) for payload in payloads]
+
+
+def run_payload_batch_telemetry(
+    payloads: Sequence[dict],
+    keys: Optional[Sequence[str]] = None,
+    emit=None,
+    worker_id=None,
+):
+    """Simulate a batch like :func:`run_payload_batch`, with telemetry.
+
+    The telemetry sibling of the pool's worker entry point.  Results
+    come from the *same* ``decode_payload → run_point → to_dict``
+    pipeline, so they are bit-identical with telemetry on or off (the
+    sweep's determinism invariant); on top of that, every point records
+    wall-clock ``setup`` / ``simulate`` / ``serialize`` spans, all
+    points in the batch publish into one private
+    :class:`repro.obs.MetricsRegistry` whose snapshot rides home in
+    the blob, and ``emit`` (when given) receives one ``point_done``
+    progress event per finished point.
+
+    Returns ``(result_dicts, blob)`` where ``blob`` is JSON-able:
+    ``worker_id``, ``pid``, batch ``t0``/``t1``, ``points``, ``spans``
+    (each ``{"name", "t0", "t1", "args"}`` in wall-clock seconds) and
+    ``metrics`` (the registry snapshot).  ``keys`` (parallel to
+    ``payloads``) label spans and events with content keys.  The
+    observability import is lazy so plain (telemetry-off) workers
+    never load :mod:`repro.obs`.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    pid = os.getpid()
+    spans: List[dict] = []
+    results: List[dict] = []
+    batch_t0 = time.time()
+    for index, payload in enumerate(payloads):
+        key = keys[index] if keys is not None else None
+        t0 = time.time()
+        kwargs = decode_payload(payload)
+        t1 = time.time()
+        result = run_point(metrics=registry, **kwargs)
+        t2 = time.time()
+        data = result.to_dict()
+        t3 = time.time()
+        results.append(data)
+        args = {"point": kwargs["config"].name}
+        if key is not None:
+            args["key"] = key
+        for name, begin, end in (("setup", t0, t1),
+                                 ("simulate", t1, t2),
+                                 ("serialize", t2, t3)):
+            spans.append({"name": name, "t0": begin, "t1": end,
+                          "args": dict(args)})
+        if emit is not None:
+            emit({"type": "point_done", "worker_id": worker_id,
+                  "pid": pid, "key": key,
+                  "config": kwargs["config"].name})
+    return results, {
+        "worker_id": worker_id,
+        "pid": pid,
+        "t0": batch_t0,
+        "t1": time.time(),
+        "points": len(results),
+        "spans": spans,
+        "metrics": registry.snapshot(),
+    }
 
 
 def explore(

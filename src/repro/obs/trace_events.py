@@ -51,14 +51,42 @@ class TraceEventCollector(SimObserver):
     counter tracks, then :meth:`write` after the run.
     """
 
-    def __init__(self, process_tracks: bool = True):
+    def __init__(self, process_tracks: bool = True,
+                 time_note: Optional[str] = None):
         self.process_tracks = process_tracks
+        #: overrides ``otherData.time_mapping`` in the output — set it
+        #: when trace timestamps are not simulated nanoseconds (the
+        #: sweep telemetry stitcher maps them to host microseconds)
+        self.time_note = time_note
         self._events: List[dict] = []
         self._metadata: List[dict] = []
         self._tids: Dict[Tuple[int, str], int] = {}
         self._named_pids: set = set()
 
     # -- track bookkeeping -------------------------------------------------
+
+    def name_process(self, pid: int, name: str) -> None:
+        """Name the track group ("process") ``pid`` explicitly.
+
+        Overrides the default group label.  The sweep telemetry
+        stitcher uses this to give every worker its own named track
+        group keyed by *worker identity* rather than OS pid — two pool
+        generations can reuse the same OS pid, so synthetic trace pids
+        with explicit names are the only collision-free scheme.
+        Renaming an already-named pid updates the existing metadata in
+        place (no duplicate ``process_name`` records).
+        """
+        if pid in self._named_pids:
+            for meta in self._metadata:
+                if (meta["name"] == "process_name"
+                        and meta["pid"] == pid):
+                    meta["args"]["name"] = name
+                    return
+        self._named_pids.add(pid)
+        self._metadata.append({
+            "name": "process_name", "ph": "M", "pid": pid, "ts": 0,
+            "args": {"name": name},
+        })
 
     def _tid(self, pid: int, label: str) -> int:
         key = (pid, label)
@@ -167,8 +195,10 @@ class TraceEventCollector(SimObserver):
             "displayTimeUnit": "ns",
             "otherData": {
                 "generator": "repro.obs.trace_events",
-                "time_mapping": "1 trace us == 1 simulated ns; "
-                                "process slice dur == host seconds * 1e6",
+                "time_mapping": self.time_note or (
+                    "1 trace us == 1 simulated ns; "
+                    "process slice dur == host seconds * 1e6"
+                ),
             },
         }
 

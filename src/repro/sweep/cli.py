@@ -14,6 +14,8 @@ Examples::
         --cache /tmp/sweep --require-cached   # resume must be all-hits
     PYTHONPATH=src python -m repro.sweep --workload mixed \\
         --ci-target 0.02 --max-replicates 8   # CI-backed ranking
+    PYTHONPATH=src python -m repro.sweep --workload mixed --workers 2 \\
+        --progress --telemetry /tmp/ledger --trace-out /tmp/trace.json
 
 With ``--cache DIR`` results persist across invocations: an interrupted
 sweep resumes where it stopped, and a repeated sweep is served entirely
@@ -24,6 +26,13 @@ statistically rigorous mode of :mod:`repro.stats`: every ranked point
 runs as a seed-replicated ensemble (replicates cache individually, so
 resume still works) and the table reports mean ± confidence half-width
 with the replicate count the sequential stopping rule settled on.
+
+``--telemetry DIR`` / ``--trace-out PATH`` / ``--progress`` attach the
+cross-process telemetry layer (:mod:`repro.obs.telemetry`): a run
+ledger plus JSONL progress stream under DIR, a merged
+orchestrator+workers Perfetto trace at PATH, and a live progress line
+on stderr.  Telemetry never changes results — the ranked rows are
+bit-identical with or without these flags.
 """
 
 from __future__ import annotations
@@ -186,6 +195,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="print/emit only the best N rows",
     )
     parser.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="enable sweep telemetry: write the run ledger "
+             "(ledger.jsonl + per-run manifests) and the progress "
+             "event stream (progress.jsonl) into DIR",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the merged Chrome-trace/Perfetto timeline "
+             "(orchestrator + per-worker tracks) here; implies "
+             "telemetry",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="render live progress (points/s, cache hits, per-worker "
+             "liveness, ETA) on stderr; implies telemetry",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None,
         help="write the ranked report as JSON",
     )
@@ -337,11 +363,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     store = SweepStore(args.cache) if args.cache else None
     oversubscribe = (DEFAULT_OVERSUBSCRIBE if args.oversubscribe is None
                      else args.oversubscribe)
+    telemetry = None
+    if args.telemetry or args.trace_out or args.progress:
+        # Lazy import: plain sweeps must never load the telemetry
+        # stack (the bench asserts the off path does not import it).
+        from repro.obs.telemetry import ProgressRenderer, SweepTelemetry
+
+        telemetry = SweepTelemetry(ledger=args.telemetry,
+                                   trace_path=args.trace_out)
+        if args.progress:
+            ProgressRenderer(sys.stderr).attach(telemetry.stream)
     # One engine — and therefore at most one warm worker pool — serves
     # every stage the strategy runs; the context manager tears the
     # pool down when the sweep is done.
     with SweepEngine(workers=args.workers, store=store,
-                     oversubscribe=oversubscribe) as engine:
+                     oversubscribe=oversubscribe,
+                     telemetry=telemetry) as engine:
         wall_start = time.perf_counter()
         outcomes = strategy.run(engine, objective=args.objective,
                                 replication=replication)
@@ -386,6 +423,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_format_replicated_rows(rows))
     else:
         print(_format_rows(rows))
+    if telemetry is not None:
+        # The ledger's summary record mirrors the report exactly —
+        # point count, cache split, ranking — so artifact consumers
+        # never need the CLI's stdout.
+        telemetry.record_summary({
+            "workload": report["workload"],
+            "strategy": report["strategy"],
+            "objective": report["objective"],
+            "points": report["points"],
+            "cached": report["cached"],
+            "computed": report["computed"],
+            "workers": report["workers"],
+            "wall_s": report["wall_s"],
+            "ranking": [
+                {"rank": row["rank"], "config": row["config"],
+                 "key": row["key"]}
+                for row in rows
+            ],
+        })
+        telemetry.close()
     print(
         f"\nsweep: {report['points']} ranked point(s), "
         f"{report['cached']} cached / {report['computed']} computed, "
@@ -412,6 +469,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 writer.writeheader()
                 writer.writerows(rows)
         print(f"wrote {args.csv}")
+    if args.trace_out:
+        print(f"wrote {args.trace_out}")
+    if args.telemetry:
+        print(f"ledger: {args.telemetry} "
+              f"(render with python -m repro.obs.report --runs)")
     if args.require_cached and computed:
         print(
             f"--require-cached: {computed} point(s) were "

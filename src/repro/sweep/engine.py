@@ -29,7 +29,13 @@ Three properties make the engine safe to parallelize:
   order; the engine restores input order when collecting.
 
 Cached-vs-computed counts and pool reuse flow into an optional
-:class:`repro.obs.MetricsRegistry` under ``sweep.*``.
+:class:`repro.obs.MetricsRegistry` under ``sweep.*``.  An optional
+:class:`repro.obs.telemetry.SweepTelemetry` (the ``telemetry=``
+keyword) additionally records per-run spans, worker-side telemetry
+blobs, progress events and run-ledger records — every touch is guarded
+by ``telemetry is not None`` and this module never imports the
+telemetry stack itself, so the telemetry-off path stays exactly as
+cheap (and as import-free) as before.
 """
 
 from __future__ import annotations
@@ -38,7 +44,11 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.explore.runner import ExplorationResult, run_point
+from repro.explore.runner import (
+    ExplorationResult,
+    run_payload_batch_telemetry,
+    run_point,
+)
 from repro.sweep.points import SweepPoint
 from repro.sweep.pool import WorkerPool, resolve_workers
 from repro.sweep.store import SweepStore
@@ -150,18 +160,28 @@ class SweepEngine:
     engine is also a context manager).  ``oversubscribe`` controls
     batch sizing: pending points are sharded into
     ``ceil(pending / (workers * oversubscribe))``-sized chunks.
+    ``telemetry`` attaches a
+    :class:`repro.obs.telemetry.SweepTelemetry` hub: spans, worker
+    metrics aggregation, progress streaming and run-ledger records,
+    with zero involvement (and zero imports) when left ``None``.
     """
 
     def __init__(self, workers=None,
                  store: Optional[SweepStore] = None,
                  metrics=None,
-                 oversubscribe: int = DEFAULT_OVERSUBSCRIBE):
+                 oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
+                 telemetry=None):
         self.workers = resolve_workers(workers)
         if oversubscribe < 1:
             raise ValueError("oversubscribe must be >= 1")
         self.oversubscribe = int(oversubscribe)
         self.store = store
         self.metrics = metrics
+        #: optional :class:`repro.obs.telemetry.SweepTelemetry` hub;
+        #: the engine drives its run/dispatch protocol and the pool
+        #: forwards worker events to it.  The engine does not own it —
+        #: callers ``close()`` it after the last run.
+        self.telemetry = telemetry
         self._pool: Optional[WorkerPool] = None
         #: points served from cache by the most recent :meth:`run`
         self.last_cached = 0
@@ -235,9 +255,21 @@ class SweepEngine:
         point is pending, otherwise as batched shards on the persistent
         pool.  With ``rerun=True`` the cache is bypassed (results are
         still written back, superseding earlier lines).
+
+        With :attr:`telemetry` attached, the run additionally records
+        cache/dispatch spans, absorbs worker telemetry blobs (spans +
+        ``worker.*`` metrics), streams progress events, and writes one
+        run-ledger record — without changing any result: the telemetry
+        compute path is the same ``decode → run_point → to_dict``
+        round-trip, inline and pooled.
         """
+        telemetry = self.telemetry
         points = list(points)
         keys = [p.key() for p in points]
+        if telemetry is not None:
+            telemetry.begin_run(keys, workers=self.workers,
+                                rerun=rerun)
+            cache_t0 = telemetry.clock()
         outcomes: List[Optional[SweepOutcome]] = [None] * len(points)
         #: key -> input indices still needing a simulation
         pending: Dict[str, List[int]] = {}
@@ -257,6 +289,10 @@ class SweepEngine:
         pending_keys = list(pending)
         payloads = [points[pending[k][0]].to_payload()
                     for k in pending_keys]
+        if telemetry is not None:
+            telemetry.cache_resolved(
+                cached=sum(1 for o in outcomes if o is not None),
+                pending=len(pending_keys), t0=cache_t0)
         pool_was_warm = self._pool is not None and self._pool.started
         if len(payloads) > 1 and self.workers > 1:
             pool = self._ensure_pool()
@@ -265,12 +301,47 @@ class SweepEngine:
             batches = [payloads[i:i + batch_size]
                        for i in range(0, len(payloads), batch_size)]
             self.last_batches = len(batches)
-            result_dicts = [result
-                            for batch in pool.map_batches(batches)
-                            for result in batch]
+            if telemetry is not None:
+                key_batches = [
+                    pending_keys[i:i + batch_size]
+                    for i in range(0, len(pending_keys), batch_size)
+                ]
+                # Measure per-worker dispatch round-trip before the
+                # real batches go out; lands in pool.stats() and from
+                # there in the run-ledger record.
+                pool.ping()
+                pool.on_event = telemetry.on_worker_event
+                pool.on_idle = telemetry.on_poll_idle
+                telemetry.begin_dispatch(pool.worker_pids(),
+                                         batches=len(batches),
+                                         points=len(payloads))
+                try:
+                    result_batches, blobs = pool.map_batches_telemetry(
+                        batches, key_batches)
+                finally:
+                    telemetry.end_dispatch()
+                    pool.on_event = None
+                    pool.on_idle = None
+                for blob in blobs:
+                    telemetry.absorb_batch(
+                        blob, generation=pool.generation)
+                result_dicts = [result for batch in result_batches
+                                for result in batch]
+            else:
+                result_dicts = [result
+                                for batch in pool.map_batches(batches)
+                                for result in batch]
         else:
             self.last_batches = 0
-            result_dicts = [_compute_payload(p) for p in payloads]
+            if telemetry is not None and payloads:
+                result_dicts, blob = run_payload_batch_telemetry(
+                    payloads, keys=pending_keys,
+                    emit=telemetry.on_worker_event,
+                    worker_id="inline",
+                )
+                telemetry.absorb_batch(blob, generation=0)
+            else:
+                result_dicts = [_compute_payload(p) for p in payloads]
 
         for key, result_dict in zip(pending_keys, result_dicts):
             if self.store is not None:
@@ -296,6 +367,17 @@ class SweepEngine:
             if self.last_batches and pool_was_warm:
                 self.metrics.counter("sweep.pool_reuses").inc()
             self.metrics.gauge("sweep.workers").set(self.workers)
+        if telemetry is not None:
+            telemetry.end_run(
+                cached=self.last_cached,
+                computed=self.last_computed,
+                batches=self.last_batches,
+                workers=self.workers,
+                pool_stats=(self._pool.stats()
+                            if self._pool is not None else None),
+                pool_spawns=self.pool_spawns,
+                pool_reuses=self.pool_reuses,
+            )
         return outcomes
 
     def __repr__(self) -> str:
@@ -303,5 +385,7 @@ class SweepEngine:
         return (
             f"SweepEngine(workers={self.workers}, pool={pool}, "
             f"store={self.store!r}, metrics="
-            f"{'attached' if self.metrics is not None else 'None'})"
+            f"{'attached' if self.metrics is not None else 'None'}, "
+            f"telemetry="
+            f"{'attached' if self.telemetry is not None else 'None'})"
         )

@@ -35,7 +35,7 @@ import os
 import queue as queue_module
 import time
 import traceback
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 #: Seconds to wait for a worker to report ready before declaring the
 #: pool broken.  Generous: a cold ``spawn``-method worker pays a full
@@ -78,14 +78,24 @@ def _preferred_context():
 def _worker_main(worker_id: int, tasks, results) -> None:
     """Long-lived worker loop: pre-import, report ready, serve batches.
 
-    Task messages are ``(kind, task_id, payloads)``:
+    Task messages are ``(kind, task_id, body)``:
 
-    * ``"batch"`` — simulate every payload via
+    * ``"batch"`` — ``body`` is a payload list; simulate it via
       :func:`repro.explore.runner.run_payload_batch`; reply
       ``("done", task_id, started, result_dicts)``.
-    * ``"ping"`` — no-op; reply ``("pong", task_id, started, None)``
-      where ``started`` is the worker-side :func:`time.time` at pickup
-      (wall clock is the one timestamp comparable across processes).
+    * ``"tbatch"`` — telemetry batch: ``body`` is
+      ``{"payloads", "keys"}``; per-point progress events stream back
+      as interleaved ``("event", None, ts, info)`` messages while the
+      batch runs, and the reply is
+      ``("done", task_id, started, (result_dicts, blob))`` where
+      ``blob`` carries the worker's spans and metrics snapshot
+      (:func:`repro.explore.runner.run_payload_batch_telemetry`).
+      Results come from the same simulate path as ``"batch"``, so
+      telemetry never changes simulation output.
+    * ``"ping"`` — no-op; reply
+      ``("pong", task_id, started, worker_id)`` where ``started`` is
+      the worker-side :func:`time.time` at pickup (wall clock is the
+      one timestamp comparable across processes).
     * ``None`` — shut down.
 
     Any exception is caught and shipped back as
@@ -97,17 +107,53 @@ def _worker_main(worker_id: int, tasks, results) -> None:
     from repro.explore.runner import run_payload_batch
 
     results.put(("ready", worker_id, os.getpid(), None))
+    points_done = 0
     while True:
         item = tasks.get()
         if item is None:
             break
-        kind, task_id, payloads = item
+        kind, task_id, body = item
         started = time.time()
         if kind == "ping":
-            results.put(("pong", task_id, started, None))
+            results.put(("pong", task_id, started, worker_id))
+            # Yield the CPU before re-entering the task queue: the
+            # queue cannot target a worker, and its lock is not
+            # FIFO-fair, so on a busy box one fast worker could answer
+            # every ping of a per-worker probe while its siblings
+            # starve.  The backoff happens after ``started`` is
+            # stamped, so measured dispatch latency is unaffected.
+            time.sleep(0.002)
+            continue
+        if kind == "tbatch":
+            # Lazy import keeps plain (telemetry-off) workers from
+            # ever loading the observability stack.
+            from repro.explore.runner import (
+                run_payload_batch_telemetry,
+            )
+
+            def emit(info):
+                nonlocal points_done
+                points_done += 1
+                info = dict(info)
+                # Worker-lifetime progress counter: the heartbeat
+                # figure the progress stream shows per worker.
+                info["points_done"] = points_done
+                info["ts"] = time.time()
+                results.put(("event", None, info["ts"], info))
+
+            try:
+                batch, blob = run_payload_batch_telemetry(
+                    body["payloads"], keys=body.get("keys"),
+                    emit=emit, worker_id=worker_id,
+                )
+            except BaseException:
+                results.put(("error", task_id, started,
+                             traceback.format_exc()))
+            else:
+                results.put(("done", task_id, started, (batch, blob)))
             continue
         try:
-            batch = run_payload_batch(payloads)
+            batch = run_payload_batch(body)
         except BaseException:
             results.put(("error", task_id, started,
                          traceback.format_exc()))
@@ -139,6 +185,18 @@ class WorkerPool:
         self.batches_dispatched = 0
         #: points shipped inside those batches
         self.points_dispatched = 0
+        #: spawn generations: how many times the workers (re)started —
+        #: telemetry keys worker identity on this because the OS can
+        #: recycle a pid across generations
+        self.generation = 0
+        #: last measured submit-to-start latency per worker id (seconds)
+        self.ping_latencies: Dict[int, float] = {}
+        #: telemetry hook: called with every worker event dict that
+        #: arrives interleaved with results (``"tbatch"`` dispatches)
+        self.on_event: Optional[Callable[[dict], None]] = None
+        #: telemetry hook: called on idle result-queue polls, so stall
+        #: detection runs even while every worker is silent
+        self.on_idle: Optional[Callable[[], None]] = None
 
     # -- lifecycle ----------------------------------------------------
 
@@ -171,6 +229,7 @@ class WorkerPool:
             proc.start()
             self._procs.append(proc)
             self.spawn_count += 1
+        self.generation += 1
         ready = 0
         deadline = time.monotonic() + READY_TIMEOUT_S
         while ready < self.workers:
@@ -255,30 +314,135 @@ class WorkerPool:
                 expected.discard(task_id)
         return [collected[i] for i in ids]
 
+    def map_batches_telemetry(
+        self, batches: Sequence[Sequence[dict]],
+        key_batches: Optional[Sequence[Sequence[str]]] = None,
+    ) -> Tuple[List[List[dict]], List[dict]]:
+        """Like :meth:`map_batches`, but with telemetry capture.
+
+        Dispatches ``"tbatch"`` tasks, so every worker records
+        per-point spans and a metrics snapshot and streams per-point
+        progress events back while computing (routed to
+        :attr:`on_event` by :meth:`_get_result`).  ``key_batches``
+        (parallel to ``batches``) labels spans/events with content
+        keys.  Each batch completion additionally fires a
+        parent-side ``batch_done`` event carrying submit and reply
+        timestamps — the orchestrator's batch spans.
+
+        Returns ``(result_batches, blobs)``, both in input order.
+        Result dicts are bit-identical to :meth:`map_batches` output —
+        telemetry observes the simulate path, it never changes it.
+        """
+        self.ensure_started()
+        ids: List[int] = []
+        submit_ts: Dict[int, float] = {}
+        for index, batch in enumerate(batches):
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            body = {
+                "payloads": list(batch),
+                "keys": (list(key_batches[index])
+                         if key_batches is not None else None),
+            }
+            submit_ts[task_id] = time.time()
+            self._tasks.put(("tbatch", task_id, body))
+            ids.append(task_id)
+            self.batches_dispatched += 1
+            self.points_dispatched += len(batch)
+        expected = set(ids)
+        collected: Dict[int, tuple] = {}
+        while expected:
+            kind, task_id, _started, body = self._get_result()
+            if task_id not in expected:
+                continue  # stale reply from an aborted earlier call
+            if kind == "error":
+                raise WorkerPoolError(
+                    f"sweep worker failed on batch {task_id}:\n{body}"
+                )
+            if kind == "done":
+                collected[task_id] = body
+                expected.discard(task_id)
+                if self.on_event is not None:
+                    results_list, blob = body
+                    self.on_event({
+                        "type": "batch_done",
+                        "batch": task_id,
+                        "points": len(results_list),
+                        "worker_id": blob.get("worker_id"),
+                        "pid": blob.get("pid"),
+                        "submit_ts": submit_ts[task_id],
+                        "ts": time.time(),
+                    })
+        return ([collected[i][0] for i in ids],
+                [collected[i][1] for i in ids])
+
     def ping(self) -> float:
         """Seconds from submit to worker-side start for a no-op task.
 
         The per-point dispatch overhead a warm pool still pays — what
-        the bench records as ``sweep.dispatch_overhead_ms``.
+        the bench records as ``sweep.dispatch_overhead_ms``.  One ping
+        per worker goes out (the shared task queue cannot target a
+        specific worker, so a few rounds may be needed before every
+        worker has answered); each pong's latency is recorded under
+        the replying worker's id in :attr:`ping_latencies` (surfaced
+        by :meth:`stats` and the run ledger), and the fastest
+        round-trip of the call is returned.
         """
         self.ensure_started()
-        task_id = self._next_task_id
-        self._next_task_id += 1
-        submitted = time.time()
-        self._tasks.put(("ping", task_id, None))
-        while True:
-            kind, got_id, started, _body = self._get_result()
-            if got_id == task_id and kind == "pong":
-                return max(0.0, started - submitted)
+        best: Optional[float] = None
+        seen: set = set()
+        for _ in range(5):
+            pending: Dict[int, float] = {}
+            for _ in range(self.workers):
+                task_id = self._next_task_id
+                self._next_task_id += 1
+                pending[task_id] = time.time()
+                self._tasks.put(("ping", task_id, None))
+            while pending:
+                kind, got_id, started, body = self._get_result()
+                if kind != "pong" or got_id not in pending:
+                    continue
+                latency = max(0.0, started - pending.pop(got_id))
+                if best is None or latency < best:
+                    best = latency
+                if isinstance(body, int):
+                    self.ping_latencies[body] = latency
+                    seen.add(body)
+            if len(seen) >= self.workers:
+                break
+        return best if best is not None else 0.0
+
+    def stats(self) -> dict:
+        """JSON-able pool statistics for ledgers and bench records."""
+        return {
+            "workers": self.workers,
+            "started": self.started,
+            "generation": self.generation,
+            "spawned": self.spawn_count,
+            "batches_dispatched": self.batches_dispatched,
+            "points_dispatched": self.points_dispatched,
+            "ping_latency_s": {
+                str(wid): round(latency, 6)
+                for wid, latency in sorted(self.ping_latencies.items())
+            },
+        }
 
     # -- internals ----------------------------------------------------
 
     def _get_result(self, deadline: Optional[float] = None):
-        """One message off the result queue, watching worker health."""
+        """One protocol message off the result queue, watching health.
+
+        Interleaved ``"event"`` messages (worker-side progress during
+        ``"tbatch"`` dispatches) are consumed here and routed to
+        :attr:`on_event`; idle polls invoke :attr:`on_idle` so
+        heartbeat/stall telemetry runs even while workers are silent.
+        """
         while True:
             try:
-                return self._results.get(timeout=POLL_INTERVAL_S)
+                message = self._results.get(timeout=POLL_INTERVAL_S)
             except queue_module.Empty:
+                if self.on_idle is not None:
+                    self.on_idle()
                 dead = [p for p in self._procs if not p.is_alive()]
                 if dead:
                     names = ", ".join(
@@ -293,6 +457,12 @@ class WorkerPool:
                     raise WorkerPoolError(
                         "timed out waiting for sweep workers to warm up"
                     ) from None
+                continue
+            if message[0] == "event":
+                if self.on_event is not None:
+                    self.on_event(message[3])
+                continue
+            return message
 
     def __repr__(self) -> str:
         state = "warm" if self.started else "cold"

@@ -169,19 +169,32 @@ class SuccessiveHalving:
         With a ``replication`` policy the screening stage stays
         single-run (it only decides who survives) and the finalists
         run as replicated ensembles ranked by CI-backed estimate.
+        When the engine has telemetry attached, the stages tag their
+        run-ledger records ``screen`` and ``finals`` respectively.
         """
-        self.last_screen = ranked(engine.run(self.screen_points),
-                                  objective)
-        survivors = max(1, math.ceil(len(self.last_screen) / self.eta))
-        keep = {
-            o.point.config.cache_key()
-            for o in self.last_screen[:survivors]
-        }
-        finalists = [
-            p for p in self.full_points
-            if p.config.cache_key() in keep
-        ]
-        if replication is not None:
-            return _run_replicated(engine, finalists, objective,
-                                   replication)
-        return ranked(engine.run(finalists), objective)
+        telemetry = getattr(engine, "telemetry", None)
+        prior_phase = telemetry.phase if telemetry is not None else None
+        try:
+            if telemetry is not None:
+                telemetry.phase = "screen"
+            self.last_screen = ranked(engine.run(self.screen_points),
+                                      objective)
+            survivors = max(1, math.ceil(len(self.last_screen)
+                                         / self.eta))
+            keep = {
+                o.point.config.cache_key()
+                for o in self.last_screen[:survivors]
+            }
+            finalists = [
+                p for p in self.full_points
+                if p.config.cache_key() in keep
+            ]
+            if telemetry is not None:
+                telemetry.phase = "finals"
+            if replication is not None:
+                return _run_replicated(engine, finalists, objective,
+                                       replication)
+            return ranked(engine.run(finalists), objective)
+        finally:
+            if telemetry is not None:
+                telemetry.phase = prior_phase

@@ -209,3 +209,32 @@ class TestFifoInstrument:
         assert gauge.maximum >= 2       # producer ran ahead of consumer
         assert gauge.value == 0          # drained at the end
         assert gauge.mean(ctx._now_fs) > 0.0
+
+
+class TestTimeWeightedZeroDuration:
+    """Degenerate-window semantics pinned for telemetry merge folds."""
+
+    def test_mean_of_empty_gauge_is_zero(self):
+        g = TimeWeightedGauge("occ")
+        assert g.mean() == 0.0
+        assert g.mean(0) == 0.0
+        assert g.mean(1000) == 0.0
+
+    def test_zero_elapsed_run_returns_the_value(self):
+        # A run whose every sample lands on one timestamp has no
+        # integration window; the mean degrades to the last value
+        # instead of dividing by zero.
+        g = TimeWeightedGauge("occ")
+        g.set_at(3, 500)
+        g.set_at(7, 500)
+        assert g.mean(500) == 7.0
+        snap = g.snapshot(500)
+        assert snap["mean"] == 7.0
+        assert snap["min"] == 3
+        assert snap["max"] == 7
+
+    def test_mean_never_extends_backwards(self):
+        g = TimeWeightedGauge("occ")
+        g.set_at(4, 1000)
+        # now_fs earlier than the last sample clamps to the sample
+        assert g.mean(0) == 4.0

@@ -140,3 +140,55 @@ class TestCounterTracks:
         collector.add_counter("depth", 3, 0)
         assert len(collector) == 3
         json.dumps(collector.to_dict())
+
+
+class TestNamedProcessTracks:
+    """Explicit track-group naming — the sweep-stitcher contract."""
+
+    def test_name_process_emits_single_metadata_record(self):
+        collector = TraceEventCollector(process_tracks=False)
+        collector.name_process(10, "worker 0 (pid 123, gen 1)")
+        collector.name_process(10, "worker 0 (pid 123, gen 2)")
+        meta = [e for e in collector.to_dict()["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "process_name"
+                and e["pid"] == 10]
+        assert len(meta) == 1
+        # rename updated the record in place instead of duplicating
+        assert meta[0]["args"]["name"] == "worker 0 (pid 123, gen 2)"
+
+    def test_pre_named_pid_keeps_its_label_on_first_span(self):
+        collector = TraceEventCollector(process_tracks=False)
+        collector.name_process(11, "worker 1 (pid 99, gen 1)")
+        collector.add_span("points", "simulate", 0, 1000, pid=11)
+        meta = [e for e in collector.to_dict()["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "process_name"
+                and e["pid"] == 11]
+        assert [m["args"]["name"] for m in meta] == [
+            "worker 1 (pid 99, gen 1)"]
+
+    def test_pid_reuse_across_generations_gets_distinct_tracks(self):
+        # Two pool generations whose workers landed on the same OS pid
+        # must still stitch to *different* trace tracks: the stitcher
+        # keys synthetic pids on (generation, worker_id, os_pid), so
+        # the collector sees distinct pids with distinct labels.
+        collector = TraceEventCollector(process_tracks=False)
+        os_pid = 4242  # reused by both generations
+        collector.name_process(10, f"worker 0 (pid {os_pid}, gen 1)")
+        collector.name_process(11, f"worker 0 (pid {os_pid}, gen 2)")
+        collector.add_span("points", "simulate", 0, 500, pid=10)
+        collector.add_span("points", "simulate", 1000, 1500, pid=11)
+        data = collector.to_dict()
+        names = {e["args"]["name"]
+                 for e in data["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert f"worker 0 (pid {os_pid}, gen 1)" in names
+        assert f"worker 0 (pid {os_pid}, gen 2)" in names
+        span_pids = {e["pid"] for e in data["traceEvents"]
+                     if e["ph"] in ("B", "E")}
+        assert span_pids == {10, 11}
+
+    def test_time_note_overrides_time_mapping(self):
+        note = "1 trace us == 1 host us since telemetry start"
+        collector = TraceEventCollector(process_tracks=False,
+                                        time_note=note)
+        assert collector.to_dict()["otherData"]["time_mapping"] == note

@@ -176,6 +176,18 @@ class TestPoolDirect:
             overhead = pool.ping()
             assert 0.0 <= overhead < 5.0
 
+    def test_ping_records_per_worker_latency_in_stats(self):
+        with WorkerPool(workers=2) as pool:
+            pool.ping()
+            assert sorted(pool.ping_latencies) == [0, 1]
+            assert all(0.0 <= v < 5.0
+                       for v in pool.ping_latencies.values())
+            stats = pool.stats()
+            assert sorted(stats["ping_latency_s"]) == ["0", "1"]
+            assert stats["workers"] == 2
+            assert stats["generation"] == 1
+            assert stats["spawned"] == 2
+
     def test_spawn_count_survives_close(self):
         pool = WorkerPool(workers=2)
         pool.ensure_started()
