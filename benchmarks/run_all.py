@@ -25,6 +25,12 @@ off.
 ``--write-baseline`` re-records ``benchmarks/baseline.json`` from the
 current run — do this only on a commit whose numbers you want future
 runs measured against.
+
+``--chaos kill-worker[:N]`` (default ``kill-worker:1``) configures the
+chaos determinism gate: the E3 sweep reruns with N workers SIGKILLed
+mid-run and must complete every point with results bit-identical to
+the undisturbed run — the self-healing runtime's headline guarantee.
+``--chaos off`` skips it.
 """
 
 from __future__ import annotations
@@ -572,6 +578,85 @@ def measure_sweep(scale: float, repeats: int,
 
 
 # ---------------------------------------------------------------------------
+# Chaos determinism experiment (self-healing sweep runtime).
+# ---------------------------------------------------------------------------
+
+def measure_chaos(scale: float, workers: int, spec: str):
+    """Chaos determinism gate; returns ``(record, failures)``.
+
+    Runs the E3 benchmark sweep once undisturbed and once under a
+    :class:`repro.sweep.ChaosPlan` that SIGKILLs workers on scheduled
+    batch pickups.  Deterministic gates in every mode: the chaos run
+    must deliver every scheduled kill, respawn every victim, complete
+    every point (nothing quarantined — there is no poison point, only
+    murdered workers), and produce results **bit-identical** to the
+    undisturbed run.  This is the headline self-healing guarantee:
+    crash recovery replays lost work through the same canonical
+    ``decode → run_point → to_dict`` path, so recovery can never
+    change a result, only its schedule.
+    """
+    from repro.sweep import ChaosPlan, SweepEngine, points_for_space
+
+    space, specs = _sweep_space_and_specs(scale)
+    points = points_for_space(space, specs, workload="mixed")
+    failures = []
+    plan = ChaosPlan.parse(spec)
+
+    with SweepEngine(workers=workers) as engine:
+        start = time.perf_counter()
+        calm_rows = [_det_row(o.result) for o in engine.run(points)]
+        calm_wall = time.perf_counter() - start
+
+    with SweepEngine(workers=workers, chaos=plan) as chaos_engine:
+        start = time.perf_counter()
+        chaos_outcomes = chaos_engine.run(points)
+        chaos_wall = time.perf_counter() - start
+        recovery = dict(chaos_engine.session_recovery)
+        quarantined = chaos_engine.last_quarantined
+
+    if plan.struck != plan.kills:
+        failures.append(
+            f"chaos delivered {plan.struck} of {plan.kills} scheduled "
+            f"worker kill(s)"
+        )
+    if recovery.get("worker_respawns", 0) < plan.struck:
+        failures.append(
+            f"chaos killed {plan.struck} worker(s) but only "
+            f"{recovery.get('worker_respawns', 0)} respawned"
+        )
+    if quarantined:
+        failures.append(
+            f"chaos run quarantined {quarantined} point(s); killed "
+            f"workers must only delay points, never fail them"
+        )
+    chaos_rows = [_det_row(o.result) for o in chaos_outcomes
+                  if not o.failed]
+    if chaos_rows != calm_rows:
+        failures.append(
+            "chaos-run sweep results differ from the undisturbed run; "
+            "crash recovery must be bit-deterministic"
+        )
+
+    record = {
+        "plan": str(plan),
+        "points": len(points),
+        "workers": workers,
+        "kills_delivered": plan.struck,
+        "recovery": recovery,
+        "quarantined": quarantined,
+        "calm_wall_s": round(calm_wall, 5),
+        "chaos_wall_s": round(chaos_wall, 5),
+        # >1.0 = recovery cost (respawn backoff + requeued work); the
+        # trajectory record, not a gated number — wall noise under
+        # SIGKILL is inherently high.
+        "chaos_over_calm_ratio": round(chaos_wall / calm_wall, 3)
+        if calm_wall > 0 else float("inf"),
+        "deterministic": chaos_rows == calm_rows,
+    }
+    return record, failures
+
+
+# ---------------------------------------------------------------------------
 # Statistical evaluation experiment (replication overhead + CRN).
 # ---------------------------------------------------------------------------
 
@@ -862,6 +947,11 @@ def main(argv=None) -> int:
                         help="fail unless the warm parallel sweep "
                              "beats the serial rate (skipped, with a "
                              "note, when only 1 CPU is available)")
+    parser.add_argument("--chaos", default="kill-worker:1",
+                        metavar="SPEC",
+                        help="chaos determinism gate plan "
+                             "(kill-worker[:N], default kill-worker:1; "
+                             "'off' skips the chaos measurement)")
     args = parser.parse_args(argv)
 
     if args.repeat < 1:
@@ -889,8 +979,12 @@ def main(argv=None) -> int:
             )
     stats, stats_failures = measure_stats(scale, args.repeat,
                                           workers=args.sweep_workers)
+    chaos, chaos_failures = None, []
+    if args.chaos != "off":
+        chaos, chaos_failures = measure_chaos(
+            scale, workers=args.sweep_workers, spec=args.chaos)
     obs_failures = (noop_hook_check() + fault_off_check()
-                    + sweep_failures + stats_failures)
+                    + sweep_failures + stats_failures + chaos_failures)
 
     baseline = {}
     if args.baseline.exists() and not args.quick:
@@ -916,6 +1010,7 @@ def main(argv=None) -> int:
         "obs": obs,
         "sweep": sweep,
         "stats": stats,
+        "chaos": chaos,
     }
     args.output.write_text(json.dumps(record, indent=1) + "\n")
     print_report(kernel, e1)
@@ -943,6 +1038,13 @@ def main(argv=None) -> int:
           f"x{stats['overhead_ratio']:.2f} per-replicate vs plain "
           f"point), CRN variance ratio "
           f"{stats['crn_variance_ratio']:.2f}")
+    if chaos is not None:
+        print(f"chaos: {chaos['plan']} on {chaos['points']} points — "
+              f"{chaos['kills_delivered']} kill(s), "
+              f"{chaos['recovery'].get('worker_respawns', 0)} "
+              f"respawn(s), {chaos['quarantined']} quarantined, "
+              f"results {'bit-identical' if chaos['deterministic'] else 'DIVERGED'} "
+              f"(x{chaos['chaos_over_calm_ratio']:.2f} wall vs calm)")
     print(f"wrote {args.output}")
 
     if obs_failures:

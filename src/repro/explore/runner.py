@@ -458,6 +458,42 @@ def decode_payload(payload: dict) -> dict:
     }
 
 
+#: Env var mapping config names to injected hazards (JSON object, e.g.
+#: ``{"plb_sp": "raise"}``).  Values: ``raise`` (the point raises),
+#: ``exit`` (the worker process dies via ``os._exit``), ``hang`` or
+#: ``hang:SECONDS`` (the point sleeps past any deadline).  The sweep's
+#: quarantine/chaos tests set this in the orchestrator so forked
+#: workers inherit it; unset (the overwhelmingly common case) the hook
+#: is a single dict lookup per point.
+HAZARD_ENV = "REPRO_EXPLORE_HAZARD"
+
+
+class InjectedHazardError(RuntimeError):
+    """The failure raised by a ``raise``-mode injected hazard."""
+
+
+def _maybe_trigger_hazard(config_name: str) -> None:
+    spec = os.environ.get(HAZARD_ENV)
+    if not spec:
+        return
+    import json
+
+    try:
+        action = json.loads(spec).get(config_name)
+    except (ValueError, AttributeError):
+        return
+    if not action:
+        return
+    if action == "raise":
+        raise InjectedHazardError(
+            f"injected hazard: poison point {config_name}")
+    if action == "exit":
+        os._exit(41)
+    if action == "hang" or action.startswith("hang:"):
+        _, _, seconds = action.partition(":")
+        time.sleep(float(seconds) if seconds else 3600.0)
+
+
 def run_payload(payload: dict) -> dict:
     """Simulate one plain-JSON point payload; return its result dict.
 
@@ -466,18 +502,43 @@ def run_payload(payload: dict) -> dict:
     canonical :meth:`ExplorationResult.to_dict` output, so caller-side
     ``from_dict`` reconstitution is bit-identical to an inline run.
     """
-    return run_point(**decode_payload(payload)).to_dict()
+    kwargs = decode_payload(payload)
+    _maybe_trigger_hazard(kwargs["config"].name)
+    return run_point(**kwargs).to_dict()
 
 
-def run_payload_batch(payloads: Sequence[dict]) -> List[dict]:
+def _error_marker(exc: Exception) -> dict:
+    # Lazy import: repro.sweep imports this module at package-import
+    # time, so the reverse dependency must resolve at call time only.
+    from repro.sweep.recovery import failure_from_exception
+
+    return {"__sweep_error__": failure_from_exception(exc)}
+
+
+def run_payload_batch(payloads: Sequence[dict],
+                      capture_errors: bool = False) -> List[dict]:
     """Simulate a batch of point payloads in order; one result dict each.
 
     The worker-side entry point of the sweep's persistent pool
     (:class:`repro.sweep.WorkerPool`): one IPC round-trip ships a whole
     shard of points and returns a compact list of result dicts, so
     per-point dispatch overhead amortizes to ~zero.
+
+    With ``capture_errors`` a raising point yields an
+    ``{"__sweep_error__": {...}}`` marker in its slot instead of
+    aborting the batch — the self-healing engine turns markers into
+    retries/quarantine while the surviving points' results stay
+    bit-identical to an undisturbed run.
     """
-    return [run_payload(payload) for payload in payloads]
+    if not capture_errors:
+        return [run_payload(payload) for payload in payloads]
+    results = []
+    for payload in payloads:
+        try:
+            results.append(run_payload(payload))
+        except Exception as exc:
+            results.append(_error_marker(exc))
+    return results
 
 
 def run_payload_batch_telemetry(
@@ -485,6 +546,7 @@ def run_payload_batch_telemetry(
     keys: Optional[Sequence[str]] = None,
     emit=None,
     worker_id=None,
+    capture_errors: bool = False,
 ):
     """Simulate a batch like :func:`run_payload_batch`, with telemetry.
 
@@ -515,15 +577,32 @@ def run_payload_batch_telemetry(
     batch_t0 = time.time()
     for index, payload in enumerate(payloads):
         key = keys[index] if keys is not None else None
+        raw_config = payload.get("config") or {}
+        config_name = raw_config.get("label") or (
+            f"{raw_config['fabric']}/{raw_config['arbiter']}"
+            if raw_config.get("fabric") and raw_config.get("arbiter")
+            else None)
         t0 = time.time()
-        kwargs = decode_payload(payload)
-        t1 = time.time()
-        result = run_point(metrics=registry, **kwargs)
-        t2 = time.time()
-        data = result.to_dict()
-        t3 = time.time()
+        try:
+            kwargs = decode_payload(payload)
+            config_name = kwargs["config"].name
+            t1 = time.time()
+            _maybe_trigger_hazard(config_name)
+            result = run_point(metrics=registry, **kwargs)
+            t2 = time.time()
+            data = result.to_dict()
+            t3 = time.time()
+        except Exception as exc:
+            if not capture_errors:
+                raise
+            results.append(_error_marker(exc))
+            if emit is not None:
+                emit({"type": "point_failed", "worker_id": worker_id,
+                      "pid": pid, "key": key, "config": config_name,
+                      "error_type": type(exc).__name__})
+            continue
         results.append(data)
-        args = {"point": kwargs["config"].name}
+        args = {"point": config_name}
         if key is not None:
             args["key"] = key
         for name, begin, end in (("setup", t0, t1),
@@ -534,7 +613,7 @@ def run_payload_batch_telemetry(
         if emit is not None:
             emit({"type": "point_done", "worker_id": worker_id,
                   "pid": pid, "key": key,
-                  "config": kwargs["config"].name})
+                  "config": config_name})
     return results, {
         "worker_id": worker_id,
         "pid": pid,

@@ -55,6 +55,30 @@ class RetryPolicy:
             fs = self.max_backoff._fs
         return SimTime._from_fs(fs)
 
+    @classmethod
+    def from_seconds(cls, max_attempts: int = 3, backoff_s: float = 0.0,
+                     exponential: bool = False,
+                     max_backoff_s: Optional[float] = None) -> "RetryPolicy":
+        """Build a policy whose backoff fields encode *host* seconds.
+
+        The sweep runtime's :class:`repro.sweep.recovery.RecoveryPolicy`
+        schedules worker respawns with the exact same fixed/exponential/
+        clamped schedule simulated masters use — by mapping wall-clock
+        seconds onto :class:`SimTime` and reading them back with
+        :meth:`delay_s`, rather than duplicating the arithmetic.
+        """
+        return cls(
+            max_attempts=max_attempts,
+            backoff=SimTime.from_value(backoff_s, "s"),
+            exponential=exponential,
+            max_backoff=(None if max_backoff_s is None
+                         else SimTime.from_value(max_backoff_s, "s")),
+        )
+
+    def delay_s(self, attempt: int) -> float:
+        """:meth:`delay_for` read back as host seconds (float)."""
+        return self.delay_for(attempt).to("s")
+
 
 def retry_call(factory: Callable[[], Generator], policy: RetryPolicy,
                what: str = "operation") -> Generator:

@@ -135,9 +135,11 @@ def format_run_history(records: List[dict],
 
     One row per record: points, cache split, workers, wall seconds,
     points/s, summed worker simulate time, worst per-worker dispatch
-    ping, and a Δwall%% column against the *previous run with the same
-    config digest* (same digest = same requested work, so the delta is
-    a like-for-like regression signal).  ``limit`` keeps only the most
+    ping, recovery counts (worker respawns and quarantined points —
+    ``-`` for ledgers written before self-healing existed), and a
+    Δwall%% column against the *previous run with the same config
+    digest* (same digest = same requested work, so the delta is a
+    like-for-like regression signal).  ``limit`` keeps only the most
     recent N rows.
     """
     if not records:
@@ -156,6 +158,10 @@ def format_run_history(records: List[dict],
             last_wall_by_digest[digest] = wall
         pings = (rec.get("pool") or {}).get("ping_latency_s") or {}
         rate = rec.get("points_per_s")
+        recovery = rec.get("recovery")
+        respawns = (str(recovery.get("worker_respawns", 0))
+                    if isinstance(recovery, dict) else "-")
+        quarantined = rec.get("quarantined")
         rows.append({
             "run": str(rec.get("run_id", "?")),
             "phase": str(rec.get("phase") or "-"),
@@ -168,12 +174,15 @@ def format_run_history(records: List[dict],
             "sim_s": f"{timing.get('worker_simulate_s', 0.0):.3f}",
             "ping_ms": (f"{max(pings.values()) * 1e3:.2f}"
                         if pings else "-"),
+            "rsp": respawns,
+            "quar": (str(quarantined) if quarantined is not None
+                     else "-"),
             "dwall": delta,
         })
     if limit is not None:
         rows = rows[-limit:]
     headers = ["run", "phase", "pts", "hit", "comp", "w", "wall_s",
-               "pts/s", "sim_s", "ping_ms", "dwall"]
+               "pts/s", "sim_s", "ping_ms", "rsp", "quar", "dwall"]
     widths = {
         h: max(len(h), *(len(r[h]) for r in rows)) for h in headers
     }

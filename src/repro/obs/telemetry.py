@@ -169,8 +169,11 @@ class ProgressRenderer:
     points done vs pending, the rolling points/s rate, the cache-hit
     split, per-worker liveness (``w<id>:<points-done>``, suffixed ``!``
     while stalled) and an ETA extrapolated from the current rate.
-    Stall warnings print as full lines so they survive the live line's
-    overwrites.  ``clock`` is injectable for deterministic tests.
+    Stall warnings, worker deaths/respawns and quarantines print as
+    full lines so they survive the live line's overwrites; quarantined
+    points count toward progress (they are resolved, just not with a
+    result) and show as a ``quar N`` field.  ``clock`` is injectable
+    for deterministic tests.
     """
 
     def __init__(self, out=None, clock: Callable[[], float] = time.time):
@@ -181,6 +184,8 @@ class ProgressRenderer:
         self._pending: Optional[int] = None
         self._cached = 0
         self._done = 0
+        self._quarantined = 0
+        self._crashes = 0
         self._workers: Dict[object, dict] = {}
         self._width = 0
 
@@ -198,6 +203,7 @@ class ProgressRenderer:
             self._pending = None
             self._cached = 0
             self._done = 0
+            self._quarantined = 0
         elif etype == "cache_resolved":
             self._cached = int(event.get("cached") or 0)
             self._pending = int(event.get("pending") or 0)
@@ -217,6 +223,30 @@ class ProgressRenderer:
             state = self._workers.setdefault(
                 event.get("worker_id"), {"points_done": 0})
             state["stalled"] = True
+        elif etype == "worker_crashed":
+            self._crashes += 1
+            self._newline()
+            self.out.write(
+                f"[sweep] worker {event.get('worker_id')} "
+                f"(pid {event.get('pid')}) died "
+                f"(exit {event.get('exitcode')}); "
+                f"{event.get('points', 0)} point(s) requeued\n"
+            )
+        elif etype == "worker_respawned":
+            self._newline()
+            self.out.write(
+                f"[sweep] worker {event.get('worker_id')} respawned "
+                f"(pid {event.get('pid')})\n"
+            )
+        elif etype == "point_quarantined":
+            self._quarantined += 1
+            self._done += 1
+            self._newline()
+            self.out.write(
+                f"[sweep] quarantined {event.get('config')} "
+                f"({event.get('kind')}: {event.get('error_type')}, "
+                f"{event.get('attempts')} attempt(s))\n"
+            )
         elif etype == "run_finished":
             self._render()
             self._newline()
@@ -250,9 +280,14 @@ class ProgressRenderer:
                                   key=lambda kv: str(kv[0]))
         )
         phase = f" {self._phase}" if self._phase else ""
+        extras = ""
+        if self._quarantined:
+            extras += f"  quar {self._quarantined}"
+        if self._crashes:
+            extras += f"  crashes {self._crashes}"
         line = (f"[sweep{phase}] {self._done}/{total} pts "
                 f"{rate:.1f}/s  cache {self._cached}  "
-                f"{workers}  {eta_text}")
+                f"{workers}{extras}  {eta_text}")
         pad = max(0, self._width - len(line))
         self._width = len(line)
         self.out.write("\r" + line + " " * pad)
@@ -312,11 +347,21 @@ class RunLedger:
         finally:
             os.close(fd)
         if record.get("kind") == "run" and record.get("run_id"):
+            # Crash-consistent manifest: write a temp file, then
+            # os.replace() it into place.  A run killed mid-write
+            # leaves either the old manifest or the new one — never a
+            # torn half-JSON that breaks later ``--runs`` rendering.
             manifest = self.dir / f"{record['run_id']}.json"
-            manifest.write_text(
-                json.dumps(record, indent=1, sort_keys=True) + "\n",
-                encoding="utf-8",
-            )
+            tmp = manifest.with_suffix(".json.tmp")
+            data = json.dumps(record, indent=1, sort_keys=True) + "\n"
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC,
+                         0o644)
+            try:
+                os.write(fd, data.encode("utf-8"))
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            os.replace(tmp, manifest)
 
     def records(self, kind: Optional[str] = None) -> List[dict]:
         """Every parseable record in append order, filtered by kind."""
@@ -500,13 +545,18 @@ class SweepTelemetry:
 
     def end_run(self, *, cached: int, computed: int, batches: int,
                 workers: int, pool_stats: Optional[dict] = None,
-                pool_spawns: int = 0, pool_reuses: int = 0) -> dict:
+                pool_spawns: int = 0, pool_reuses: int = 0,
+                recovery: Optional[dict] = None,
+                quarantined: int = 0) -> dict:
         """Engine hook: finalize the run's ``RunRecord`` and ledger it.
 
         The record carries the config digest, the wall/cache/dispatch/
         worker-phase timing breakdown (worker phases summed from the
-        shipped-back spans), cache stats, and the pool's spawn/reuse/
-        ping figures.  Returns the record (also kept on
+        shipped-back spans), cache stats, the pool's spawn/reuse/
+        ping figures, the self-healing summary (``recovery`` — worker
+        crashes/respawns/requeues/timeouts as counted by
+        ``WorkerPool.run_batches``) and the number of points
+        quarantined this run.  Returns the record (also kept on
         :attr:`run_records`).
         """
         run = self._run
@@ -543,6 +593,8 @@ class SweepTelemetry:
             "timing": timing,
             "pool": dict(pool_stats or {}, spawns=pool_spawns,
                          reuses=pool_reuses),
+            "recovery": (dict(recovery) if recovery else None),
+            "quarantined": int(quarantined),
             "context": dict(self.context),
         }
         self.run_records.append(record)
@@ -554,6 +606,7 @@ class SweepTelemetry:
             "type": "run_finished", "run_id": run_id,
             "points": run["points"], "cached": cached,
             "computed": computed, "wall_s": timing["wall_s"],
+            "quarantined": int(quarantined),
         })
         return record
 
@@ -566,7 +619,12 @@ class SweepTelemetry:
         worker's liveness state (pid, points done, current key) and
         clear any stall flag.  ``batch_done`` events additionally
         become orchestrator-side batch spans (submit-to-reply, on the
-        ``batches`` track).
+        ``batches`` track).  Self-healing events are folded in too:
+        ``worker_crashed`` bumps the worker's crash count,
+        ``worker_respawned`` closes the outage as a span on the
+        ``recovery`` track (crash instant to respawn instant), and
+        ``point_quarantined`` / ``point_timeout`` / ``point_failed``
+        stream through for renderers and the progress log.
         """
         event = dict(event)
         event.setdefault("ts", self._clock())
@@ -585,11 +643,21 @@ class SweepTelemetry:
                 event.setdefault("points_done", state["points_done"])
                 if event.get("key"):
                     state["current_key"] = event["key"]
+            elif etype == "worker_crashed":
+                state["crashes"] = state.get("crashes", 0) + 1
         if etype == "batch_done" and event.get("submit_ts") is not None:
             self.spans.add(
                 f"batch {event.get('batch')}", event["submit_ts"],
                 event["ts"], track="batches", worker=wid,
                 points=event.get("points"),
+            )
+        elif (etype == "worker_respawned"
+                and event.get("crashed_ts") is not None):
+            self.spans.add(
+                f"respawn w{wid}", event["crashed_ts"], event["ts"],
+                track="recovery", worker=wid,
+                old_pid=event.get("old_pid"),
+                new_pid=event.get("pid"),
             )
         self.stream.emit(event)
 

@@ -90,7 +90,9 @@ class ReplicatedOutcome:
     """One design point's pooled estimate plus its replicates.
 
     ``outcomes`` holds the individual replicate outcomes in replicate
-    order; ``estimate`` pools their objective values.  ``met_target``
+    order — including quarantined ones (``result=None`` plus a
+    ``failure`` record), which the estimate ignores; ``estimate``
+    pools the successful replicates' objective values.  ``met_target``
     is False whenever the policy had no target (fixed replication) or
     the point hit ``r_max`` with the interval still too wide.
     """
@@ -104,18 +106,32 @@ class ReplicatedOutcome:
 
     @property
     def replicates(self) -> int:
-        """How many replicates this point ran."""
+        """How many replicates this point ran (attempts, not successes)."""
         return len(self.outcomes)
 
     @property
+    def quarantined(self) -> int:
+        """How many replicates ended quarantined instead of measured."""
+        return sum(1 for o in self.outcomes if o.failed)
+
+    @property
+    def successes(self) -> int:
+        """How many replicates produced a measurable result."""
+        return len(self.outcomes) - self.quarantined
+
+    @property
     def result(self):
-        """The first replicate's result — the representative sample."""
-        return self.outcomes[0].result
+        """The first successful replicate's result — the
+        representative sample; None when every replicate quarantined."""
+        for outcome in self.outcomes:
+            if not outcome.failed:
+                return outcome.result
+        return None
 
     def values(self) -> List[float]:
-        """Per-replicate objective values, in replicate order."""
+        """Successful replicates' objective values, in replicate order."""
         return [objective_value(o.result, self.objective)
-                for o in self.outcomes]
+                for o in self.outcomes if not o.failed]
 
     def row(self) -> dict:
         """Deterministic report row for this replicated point.
@@ -126,14 +142,15 @@ class ReplicatedOutcome:
         """
         est = self.estimate
         return {
-            "config": self.result.config.name,
-            "workload": self.result.workload,
+            "config": self.point.config.name,
+            "workload": self.point.workload,
             "objective": self.objective,
             "mean": est.mean,
             "half_width": est.half_width,
             "relative_half_width": est.relative_half_width,
             "confidence": est.confidence,
             "replicates": self.replicates,
+            "quarantined": self.quarantined,
             "met_target": self.met_target,
             "stddev": est.stddev,
             "values": self.values(),
@@ -148,13 +165,15 @@ def ranked_replicated(
     """Replicated outcomes sorted best-first on the estimate's mean.
 
     Mirrors :func:`repro.sweep.engine.ranked`: the objective's
-    direction decides the sign, and ties break on the config cache key
-    then the workload name so the ranking is total and reproducible.
+    direction decides the sign, ties break on the config cache key
+    then the workload name so the ranking is total and reproducible,
+    and points whose every replicate quarantined (no measurable value
+    at all) are skipped — reports list them separately.
     """
     _, higher_better = OBJECTIVES[objective]
     sign = -1.0 if higher_better else 1.0
     return sorted(
-        outcomes,
+        (o for o in outcomes if o.successes > 0),
         key=lambda o: (sign * o.estimate.mean,
                        o.point.config.cache_key(), o.point.workload),
     )
@@ -213,6 +232,11 @@ class ReplicatedRunner:
         pool works on the whole frontier at once instead of draining
         point by point.  ``bases`` (parallel to ``points``) overrides
         the per-point seed-derivation base keys — the CRN hook.
+
+        Quarantined replicates (see :mod:`repro.sweep.recovery`) count
+        as attempts toward ``r_max`` but contribute no value to the
+        pooled estimate, so a poison seed narrows a point's sample —
+        it never loops the study forever or aborts it.
         """
         if objective not in OBJECTIVES:
             raise ValueError(
@@ -278,6 +302,9 @@ class ReplicatedRunner:
                 "objective": objective,
                 "replicates": self.last_replicates,
                 "rounds": self.last_rounds,
+                "quarantined": sum(
+                    1 for outcomes in reps for o in outcomes if o.failed
+                ),
                 "r_min": policy.r_min,
                 "r_max": policy.r_max,
                 "ci_target": policy.ci_target,
@@ -297,13 +324,23 @@ class ReplicatedRunner:
 
     def _pooled(self, outcomes: List[SweepOutcome],
                 objective: str) -> MetricEstimate:
-        """Pool one point's replicate values into a t-based estimate."""
-        values = [objective_value(o.result, objective) for o in outcomes]
+        """Pool one point's successful replicate values into a t-based
+        estimate.
+
+        Quarantined replicates contribute no value.  A point whose
+        every replicate quarantined gets an honest "no data" estimate
+        (NaN mean, one-sample infinite half-width) instead of raising,
+        so one poison point cannot abort a whole replication study.
+        """
+        values = [objective_value(o.result, objective)
+                  for o in outcomes if not o.failed]
+        quarantined = len(outcomes) - len(values)
         return estimate_from_samples(
-            values,
+            values if values else [float("nan")],
             confidence=self.policy.confidence,
             method="replicates",
-            diagnostics={"replicates": len(values)},
+            diagnostics={"replicates": len(values),
+                         "quarantined": quarantined},
         )
 
     def _publish(self, results: List[ReplicatedOutcome],
@@ -319,9 +356,14 @@ class ReplicatedRunner:
         if not self.policy.fixed:
             self.metrics.counter("stats.points_capped").inc(
                 sum(1 for r in results if not r.met_target))
+        quarantined = sum(r.quarantined for r in results)
+        if quarantined:
+            self.metrics.counter("stats.replicates_quarantined").inc(
+                quarantined)
         summary = self.metrics.estimate(f"stats.estimate.{objective}")
         for outcome in results:
-            summary.record(outcome.estimate)
+            if outcome.successes:
+                summary.record(outcome.estimate)
 
     def __repr__(self) -> str:
         return (

@@ -11,8 +11,13 @@ pool size, batch size, or cache state, with process startup paid once
 per engine instead of once per run — and the search strategies
 (:class:`GridSearch`, :class:`RandomSearch`,
 :class:`SuccessiveHalving`) decide which points earn simulation time.
-``python -m repro.sweep`` drives it all from the command line and emits
-ranked JSON/CSV reports.
+The runtime is *self-healing*: :class:`RecoveryPolicy` bounds worker
+respawns, batch requeues/bisection toward poison points, per-point
+deadlines, and quarantine (kind-tagged ``failed`` store records that
+resumed runs skip deterministically); :class:`ChaosPlan` is the
+harness that proves results stay bit-identical under injected worker
+kills.  ``python -m repro.sweep`` drives it all from the command line
+and emits ranked JSON/CSV reports.
 """
 
 from repro.sweep.engine import (
@@ -21,6 +26,7 @@ from repro.sweep.engine import (
     SweepEngine,
     SweepOutcome,
     objective_value,
+    quarantined,
     ranked,
 )
 from repro.sweep.points import CODE_VERSION, SweepPoint, points_for_space
@@ -28,6 +34,12 @@ from repro.sweep.pool import (
     WorkerPool,
     WorkerPoolError,
     resolve_workers,
+)
+from repro.sweep.recovery import (
+    ChaosPlan,
+    RecoveryPolicy,
+    ShutdownGuard,
+    SweepInterrupted,
 )
 from repro.sweep.store import STORE_SCHEMA, SweepStore
 from repro.sweep.strategies import (
@@ -38,13 +50,17 @@ from repro.sweep.strategies import (
 
 __all__ = [
     "CODE_VERSION",
+    "ChaosPlan",
     "DEFAULT_OVERSUBSCRIBE",
     "GridSearch",
     "OBJECTIVES",
     "RandomSearch",
+    "RecoveryPolicy",
     "STORE_SCHEMA",
+    "ShutdownGuard",
     "SuccessiveHalving",
     "SweepEngine",
+    "SweepInterrupted",
     "SweepOutcome",
     "SweepPoint",
     "SweepStore",
@@ -52,6 +68,7 @@ __all__ = [
     "WorkerPoolError",
     "objective_value",
     "points_for_space",
+    "quarantined",
     "ranked",
     "resolve_workers",
 ]

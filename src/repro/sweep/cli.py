@@ -33,6 +33,15 @@ ledger plus JSONL progress stream under DIR, a merged
 orchestrator+workers Perfetto trace at PATH, and a live progress line
 on stderr.  Telemetry never changes results — the ranked rows are
 bit-identical with or without these flags.
+
+The sweep is *self-healing* (:mod:`repro.sweep.recovery`): dead
+workers respawn, lost batches requeue and bisect down to the poison
+point, which is quarantined — listed in the report's ``quarantined``
+section and skipped on resume.  ``--max-point-seconds`` adds a
+per-point wall-clock deadline; ``--chaos kill-worker:N`` is the chaos
+harness that SIGKILLs N workers mid-run to prove completed results
+stay bit-identical.  SIGINT/SIGTERM flush the store, ledger and trace
+before exiting with status 130.
 """
 
 from __future__ import annotations
@@ -52,6 +61,11 @@ from repro.sweep.engine import (
     OBJECTIVES,
     SweepEngine,
     SweepOutcome,
+)
+from repro.sweep.recovery import (
+    ChaosPlan,
+    ShutdownGuard,
+    SweepInterrupted,
 )
 from repro.sweep.store import SweepStore
 from repro.sweep.strategies import (
@@ -193,6 +207,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--top", type=int, default=None,
         help="print/emit only the best N rows",
+    )
+    parser.add_argument(
+        "--max-point-seconds", type=float, default=None, metavar="S",
+        help="per-point wall-clock deadline: a worker holding a batch "
+             "past its budget is killed and the lost points retried "
+             "once before quarantine",
+    )
+    parser.add_argument(
+        "--chaos", metavar="SPEC", default=None,
+        help="chaos harness: kill-worker[:N] SIGKILLs N workers on "
+             "scheduled batch pickups; completed results must stay "
+             "bit-identical (determinism gate)",
     )
     parser.add_argument(
         "--telemetry", metavar="DIR", default=None,
@@ -350,6 +376,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     replication = _replication_policy(args, parser)
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ChaosPlan.parse(args.chaos)
+        except ValueError as exc:
+            parser.error(str(exc))
+    if (args.max_point_seconds is not None
+            and not args.max_point_seconds > 0):
+        parser.error("--max-point-seconds must be positive")
     space = DesignSpace(
         fabrics=tuple(args.fabrics),
         arbiters=tuple(args.arbiters),
@@ -376,15 +411,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     # One engine — and therefore at most one warm worker pool — serves
     # every stage the strategy runs; the context manager tears the
     # pool down when the sweep is done.
+    interrupted: Optional[SweepInterrupted] = None
     with SweepEngine(workers=args.workers, store=store,
                      oversubscribe=oversubscribe,
-                     telemetry=telemetry) as engine:
+                     telemetry=telemetry,
+                     deadline_s=args.max_point_seconds,
+                     chaos=chaos) as engine:
         wall_start = time.perf_counter()
-        outcomes = strategy.run(engine, objective=args.objective,
-                                replication=replication)
+        try:
+            # The guard turns SIGINT/SIGTERM into SweepInterrupted so
+            # this with-block's teardown — pool shutdown, telemetry
+            # flush below — runs instead of the process dying torn.
+            with ShutdownGuard():
+                outcomes = strategy.run(engine, objective=args.objective,
+                                        replication=replication)
+        except SweepInterrupted as exc:
+            interrupted = exc
         wall = time.perf_counter() - wall_start
         pool_spawns = engine.pool_spawns
         pool_reuses = engine.pool_reuses
+        quarantine_rows = [
+            o.quarantine_row()
+            for o in sorted(engine.session_failures.values(),
+                            key=lambda o: o.key)
+        ]
+        recovery = dict(engine.session_recovery) or None
+
+    if interrupted is not None:
+        # Every completed point is already fsynced in the store; close
+        # the telemetry hub so the ledger/trace flush too, then exit
+        # with the conventional interrupted status.
+        if telemetry is not None:
+            telemetry.close()
+        print(f"\n{interrupted}; completed points are cached — rerun "
+              f"with the same --cache to resume", file=sys.stderr)
+        return 130
 
     if replication is not None:
         # Cache provenance over every replicate, before any --top cut.
@@ -411,6 +472,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "pool_spawns": pool_spawns,
         "pool_reuses": pool_reuses,
         "wall_s": round(wall, 4),
+        "quarantined": quarantine_rows,
+        "recovery": recovery,
         "ranked": rows,
     }
     if replication is not None:
@@ -423,6 +486,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_format_replicated_rows(rows))
     else:
         print(_format_rows(rows))
+    if quarantine_rows:
+        print("\nquarantined (excluded from ranking; rerun with "
+              "--rerun to retry)")
+        for row in quarantine_rows:
+            print(
+                f"  {row['config']}/{row['workload']}: {row['kind']} "
+                f"({row['error_type']}, {row['attempts']} attempt(s)) "
+                f"— {row['message']}"
+            )
     if telemetry is not None:
         # The ledger's summary record mirrors the report exactly —
         # point count, cache split, ranking — so artifact consumers
@@ -436,6 +508,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "computed": report["computed"],
             "workers": report["workers"],
             "wall_s": report["wall_s"],
+            "quarantined": len(quarantine_rows),
+            "recovery": recovery,
             "ranking": [
                 {"rank": row["rank"], "config": row["config"],
                  "key": row["key"]}
@@ -449,6 +523,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{engine.workers} worker(s) ({pool_spawns} spawned, "
         f"{pool_reuses} warm reuse(s)), {wall:.2f} s"
     )
+    if recovery:
+        print(
+            f"recovery: {recovery.get('worker_crashes', 0)} crash(es), "
+            f"{recovery.get('worker_respawns', 0)} respawn(s), "
+            f"{recovery.get('timeouts', 0)} timeout(s), "
+            f"{recovery.get('requeues', 0)} requeue(s), "
+            f"{len(quarantine_rows)} quarantined"
+        )
     if replication is not None:
         target = ("none (fixed)" if replication.ci_target is None
                   else f"{replication.ci_target:.1%}")

@@ -41,16 +41,22 @@ cheap (and as import-free) as before.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.explore.runner import (
     ExplorationResult,
+    run_payload,
     run_payload_batch_telemetry,
     run_point,
 )
 from repro.sweep.points import SweepPoint
 from repro.sweep.pool import WorkerPool, resolve_workers
+from repro.sweep.recovery import (
+    RecoveryPolicy,
+    failure_from_exception,
+    quarantine_record,
+)
 from repro.sweep.store import SweepStore
 
 #: Ranking objectives: name -> (result accessor, higher_is_better).
@@ -68,13 +74,42 @@ DEFAULT_OVERSUBSCRIBE = 4
 
 @dataclass
 class SweepOutcome:
-    """One design point's result plus its provenance."""
+    """One design point's result plus its provenance.
+
+    A *quarantined* point — one that kept raising, crashing its
+    worker, or blowing its deadline until the
+    :class:`~repro.sweep.recovery.RecoveryPolicy` budget ran out —
+    carries ``result=None`` and a ``failure`` dict (kind, error type,
+    message, traceback digest, attempt count) instead.  :func:`ranked`
+    skips quarantined outcomes; reports list them separately.
+    """
 
     point: SweepPoint
     key: str
-    result: ExplorationResult
+    result: Optional[ExplorationResult]
     #: True when the result came from the store, not a fresh simulation.
     cached: bool
+    #: quarantine record when the point failed permanently, else None
+    failure: Optional[dict] = None
+
+    @property
+    def failed(self) -> bool:
+        """True when this point was quarantined instead of simulated."""
+        return self.failure is not None
+
+    def quarantine_row(self) -> dict:
+        """Deterministic report row for a quarantined outcome."""
+        failure = self.failure or {}
+        return {
+            "config": self.point.config.name,
+            "workload": self.point.workload,
+            "kind": failure.get("kind"),
+            "error_type": failure.get("error_type"),
+            "message": failure.get("message"),
+            "traceback_digest": failure.get("traceback_digest"),
+            "attempts": failure.get("attempts"),
+            "key": self.key,
+        }
 
     def row(self, objective: str = "mean_latency_ns") -> dict:
         """Deterministic report row for this outcome.
@@ -115,15 +150,24 @@ def ranked(outcomes: Sequence[SweepOutcome],
     """Outcomes sorted best-first on ``objective``.
 
     Ties break on the config cache key then the workload name, so the
-    ranking is total and reproducible.
+    ranking is total and reproducible.  Quarantined outcomes (no
+    result to rank) are excluded — report them from
+    :meth:`SweepOutcome.quarantine_row` instead of silently dropping
+    them at the caller.
     """
     accessor, higher_better = OBJECTIVES[objective]
     sign = -1.0 if higher_better else 1.0
     return sorted(
-        outcomes,
+        (o for o in outcomes if not o.failed),
         key=lambda o: (sign * accessor(o.result),
                        o.point.config.cache_key(), o.point.workload),
     )
+
+
+def quarantined(outcomes: Sequence[SweepOutcome]) -> List[SweepOutcome]:
+    """The quarantined outcomes, in deterministic (key) order."""
+    return sorted((o for o in outcomes if o.failed),
+                  key=lambda o: o.key)
 
 
 def _compute_payload(payload: dict) -> dict:
@@ -170,13 +214,27 @@ class SweepEngine:
                  store: Optional[SweepStore] = None,
                  metrics=None,
                  oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
-                 telemetry=None):
+                 telemetry=None,
+                 recovery: Optional[RecoveryPolicy] = None,
+                 deadline_s: Optional[float] = None,
+                 chaos=None):
         self.workers = resolve_workers(workers)
         if oversubscribe < 1:
             raise ValueError("oversubscribe must be >= 1")
         self.oversubscribe = int(oversubscribe)
         self.store = store
         self.metrics = metrics
+        #: how this engine survives crashes/hangs/poison points; a
+        #: ``deadline_s`` argument overrides the policy's deadline
+        #: (convenience for ``--max-point-seconds``)
+        if recovery is None:
+            recovery = RecoveryPolicy(deadline_s=deadline_s)
+        elif deadline_s is not None:
+            recovery = replace(recovery, deadline_s=deadline_s)
+        self.recovery = recovery
+        #: optional :class:`repro.sweep.recovery.ChaosPlan` — the chaos
+        #: harness SIGKILLs workers on scheduled batch pickups
+        self.chaos = chaos
         #: optional :class:`repro.obs.telemetry.SweepTelemetry` hub;
         #: the engine drives its run/dispatch protocol and the pool
         #: forwards worker events to it.  The engine does not own it —
@@ -191,6 +249,19 @@ class SweepEngine:
         self.last_batches = 0
         #: ``run()`` calls that found the pool already warm and reused it
         self.pool_reuses = 0
+        #: points quarantined by the most recent :meth:`run` (fresh and
+        #: cache-served quarantines both count)
+        self.last_quarantined = 0
+        #: recovery counter summary of the most recent pooled dispatch
+        #: (None when the run stayed inline / fully cached)
+        self.last_recovery: Optional[dict] = None
+        #: quarantined outcomes across this engine's lifetime, keyed by
+        #: point key; a later success (e.g. ``rerun=True``) removes its
+        #: entry.  Strategies return only ranked outcomes, so report
+        #: writers read the quarantined section from here.
+        self.session_failures: Dict[str, SweepOutcome] = {}
+        #: recovery counters summed across this engine's lifetime
+        self.session_recovery: Dict[str, int] = {}
 
     # -- pool lifecycle -----------------------------------------------
 
@@ -283,8 +354,18 @@ class SweepEngine:
                     result=ExplorationResult.from_dict(cached),
                     cached=True,
                 )
-            else:
-                pending.setdefault(key, []).append(i)
+                continue
+            if self.store is not None and not rerun:
+                # a previously quarantined point: skip it
+                # deterministically instead of re-running the failure
+                failure = self.store.get_failure(key)
+                if failure is not None:
+                    outcomes[i] = SweepOutcome(
+                        point=point, key=key, result=None,
+                        cached=True, failure=failure,
+                    )
+                    continue
+            pending.setdefault(key, []).append(i)
 
         pending_keys = list(pending)
         payloads = [points[pending[k][0]].to_payload()
@@ -294,18 +375,19 @@ class SweepEngine:
                 cached=sum(1 for o in outcomes if o is not None),
                 pending=len(pending_keys), t0=cache_t0)
         pool_was_warm = self._pool is not None and self._pool.started
+        self.last_recovery = None
         if len(payloads) > 1 and self.workers > 1:
             pool = self._ensure_pool()
             batch_size = max(1, math.ceil(
                 len(payloads) / (self.workers * self.oversubscribe)))
             batches = [payloads[i:i + batch_size]
                        for i in range(0, len(payloads), batch_size)]
+            key_batches = [
+                pending_keys[i:i + batch_size]
+                for i in range(0, len(pending_keys), batch_size)
+            ]
             self.last_batches = len(batches)
             if telemetry is not None:
-                key_batches = [
-                    pending_keys[i:i + batch_size]
-                    for i in range(0, len(pending_keys), batch_size)
-                ]
                 # Measure per-worker dispatch round-trip before the
                 # real batches go out; lands in pool.stats() and from
                 # there in the run-ledger record.
@@ -315,35 +397,45 @@ class SweepEngine:
                 telemetry.begin_dispatch(pool.worker_pids(),
                                          batches=len(batches),
                                          points=len(payloads))
-                try:
-                    result_batches, blobs = pool.map_batches_telemetry(
-                        batches, key_batches)
-                finally:
+            try:
+                result_batches, blobs, summary = pool.run_batches(
+                    batches, key_batches,
+                    recovery=self.recovery,
+                    telemetry=telemetry is not None,
+                    chaos=self.chaos,
+                )
+            finally:
+                if telemetry is not None:
                     telemetry.end_dispatch()
                     pool.on_event = None
                     pool.on_idle = None
+            self.last_recovery = summary
+            if telemetry is not None:
                 for blob in blobs:
                     telemetry.absorb_batch(
                         blob, generation=pool.generation)
-                result_dicts = [result for batch in result_batches
-                                for result in batch]
-            else:
-                result_dicts = [result
-                                for batch in pool.map_batches(batches)
-                                for result in batch]
+            result_dicts = [result for batch in result_batches
+                            for result in batch]
         else:
             self.last_batches = 0
-            if telemetry is not None and payloads:
-                result_dicts, blob = run_payload_batch_telemetry(
-                    payloads, keys=pending_keys,
-                    emit=telemetry.on_worker_event,
-                    worker_id="inline",
-                )
-                telemetry.absorb_batch(blob, generation=0)
-            else:
-                result_dicts = [_compute_payload(p) for p in payloads]
+            result_dicts = self._run_inline(payloads, pending_keys,
+                                            telemetry)
 
+        fresh_quarantined = 0
         for key, result_dict in zip(pending_keys, result_dicts):
+            failure = (result_dict.get("__sweep_error__")
+                       if isinstance(result_dict, dict) else None)
+            if failure is not None:
+                record = quarantine_record(failure)
+                fresh_quarantined += 1
+                if self.store is not None:
+                    self.store.put_failure(key, record)
+                for i in pending[key]:
+                    outcomes[i] = SweepOutcome(
+                        point=points[i], key=key, result=None,
+                        cached=False, failure=record,
+                    )
+                continue
             if self.store is not None:
                 self.store.put(key, result_dict)
             for i in pending[key]:
@@ -357,6 +449,17 @@ class SweepEngine:
         # duplicate input points sharing one key cost (and count) one.
         self.last_computed = len(pending_keys)
         self.last_cached = sum(1 for o in outcomes if o.cached)
+        self.last_quarantined = sum(1 for o in outcomes if o.failed)
+        for outcome in outcomes:
+            if outcome.failed:
+                self.session_failures[outcome.key] = outcome
+            else:
+                self.session_failures.pop(outcome.key, None)
+        recovery_summary = self.last_recovery
+        if recovery_summary is not None:
+            for name, count in recovery_summary.items():
+                self.session_recovery[name] = (
+                    self.session_recovery.get(name, 0) + count)
         if self.metrics is not None:
             self.metrics.counter("sweep.points_total").inc(len(outcomes))
             self.metrics.counter("sweep.points_cached").inc(
@@ -367,6 +470,14 @@ class SweepEngine:
             if self.last_batches and pool_was_warm:
                 self.metrics.counter("sweep.pool_reuses").inc()
             self.metrics.gauge("sweep.workers").set(self.workers)
+            if recovery_summary is not None:
+                respawns = recovery_summary.get("worker_respawns", 0)
+                if respawns:
+                    self.metrics.counter("sweep.recoveries").inc(
+                        respawns)
+            if fresh_quarantined:
+                self.metrics.counter("sweep.quarantined").inc(
+                    fresh_quarantined)
         if telemetry is not None:
             telemetry.end_run(
                 cached=self.last_cached,
@@ -377,8 +488,49 @@ class SweepEngine:
                             if self._pool is not None else None),
                 pool_spawns=self.pool_spawns,
                 pool_reuses=self.pool_reuses,
+                recovery=recovery_summary,
+                quarantined=self.last_quarantined,
             )
         return outcomes
+
+    def _run_inline(self, payloads, pending_keys, telemetry):
+        """Serial compute path with the same retry/quarantine contract.
+
+        One payload at a time through the canonical
+        ``decode → run_point → to_dict`` round-trip; a raising point is
+        retried up to ``recovery.point_attempts`` times, then yields a
+        final ``{"__sweep_error__": {...}}`` marker exactly like a
+        pooled worker would.
+        """
+        result_dicts: List[dict] = []
+        attempts_budget = self.recovery.point_attempts
+        for payload, key in zip(payloads, pending_keys):
+            result: Optional[dict] = None
+            for attempt in range(1, attempts_budget + 1):
+                if telemetry is not None:
+                    batch, blob = run_payload_batch_telemetry(
+                        [payload], keys=[key],
+                        emit=telemetry.on_worker_event,
+                        worker_id="inline", capture_errors=True,
+                    )
+                    telemetry.absorb_batch(blob, generation=0)
+                    result = batch[0]
+                    failed = (isinstance(result, dict)
+                              and "__sweep_error__" in result)
+                    if failed:
+                        result["__sweep_error__"]["attempts"] = attempt
+                    else:
+                        break
+                else:
+                    try:
+                        result = run_payload(payload)
+                        break
+                    except Exception as exc:
+                        result = {"__sweep_error__":
+                                  failure_from_exception(
+                                      exc, attempts=attempt)}
+            result_dicts.append(result)
+        return result_dicts
 
     def __repr__(self) -> str:
         pool = "cold" if self._pool is None else repr(self._pool)

@@ -85,6 +85,11 @@ class SweepPoint:
                           separators=(",", ":"))
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
+    def label(self) -> str:
+        """Short human-readable identity (``config/workload``) for
+        quarantine rows, progress events, and error messages."""
+        return f"{self.config.name}/{self.workload}"
+
     def to_payload(self) -> dict:
         """Plain-JSON transport form for worker processes.
 

@@ -14,6 +14,14 @@ Layout: one directory holding ``results.jsonl``; each line is
 is :meth:`repro.explore.ExplorationResult.to_dict` output.  Duplicate
 keys are legal (re-runs with ``rerun=True`` append) — the *last* line
 for a key wins on load, matching append semantics.
+
+Quarantined points persist as kind-tagged *failed* records on the
+same file: ``{"schema": 1, "kind": "failed", "key": "<sha256>",
+"failure": {"kind": "error"|"crash"|"timeout", "error_type",
+"message", "traceback_digest", "attempts"}}``.  Last-line-wins holds
+*across* kinds: a later successful re-run supersedes a quarantine and
+vice versa, so resumed/``--require-cached`` runs skip quarantined
+points deterministically instead of re-running the failure.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ class SweepStore:
             p = p / "results.jsonl"
         self._path = p
         self._results: Dict[str, dict] = {}
+        self._failures: Dict[str, dict] = {}
         self._loaded_lines = 0
         self._skipped_lines = 0
         self.reload()
@@ -52,8 +61,13 @@ class SweepStore:
         return self._skipped_lines
 
     def reload(self) -> None:
-        """(Re)read the backing file; last line per key wins."""
+        """(Re)read the backing file; last line per key wins.
+
+        Winning is *cross-kind*: the newest line for a key decides
+        whether the key is a cached result or a quarantined failure.
+        """
         self._results.clear()
+        self._failures.clear()
         self._loaded_lines = 0
         self._skipped_lines = 0
         if not self._path.exists():
@@ -72,15 +86,33 @@ class SweepStore:
                     continue
                 if (not isinstance(record, dict)
                         or record.get("schema") != STORE_SCHEMA
-                        or "key" not in record or "result" not in record):
+                        or "key" not in record):
                     self._skipped_lines += 1
                     continue
-                self._results[record["key"]] = record["result"]
+                key = record["key"]
+                if (record.get("kind") == "failed"
+                        and "failure" in record):
+                    self._failures[key] = record["failure"]
+                    self._results.pop(key, None)
+                elif "result" in record:
+                    self._results[key] = record["result"]
+                    self._failures.pop(key, None)
+                else:
+                    self._skipped_lines += 1
+                    continue
                 self._loaded_lines += 1
 
     def get(self, key: str) -> Optional[dict]:
         """The cached result dict for ``key``, or None."""
         return self._results.get(key)
+
+    def get_failure(self, key: str) -> Optional[dict]:
+        """The quarantine record for ``key``, or None.
+
+        Non-None only while no *newer* successful result supersedes
+        the failure (cross-kind last-line-wins).
+        """
+        return self._failures.get(key)
 
     def put(self, key: str, result: dict) -> None:
         """Cache ``result`` under ``key`` and append it to disk.
@@ -92,11 +124,27 @@ class SweepStore:
         line from a hard kill mid-write is still tolerated on load.)
         """
         self._results[key] = result
+        self._failures.pop(key, None)
+        self._append({"schema": STORE_SCHEMA, "key": key,
+                      "result": result})
+
+    def put_failure(self, key: str, failure: dict) -> None:
+        """Quarantine ``key``: append a kind-tagged *failed* record.
+
+        ``failure`` is a :func:`repro.sweep.recovery.quarantine_record`
+        dict.  The append discipline matches :meth:`put` (single
+        ``O_APPEND`` write + fsync), so a quarantine survives the
+        orchestrator dying right after recording it.
+        """
+        self._failures[key] = failure
+        self._results.pop(key, None)
+        self._append({"schema": STORE_SCHEMA, "kind": "failed",
+                      "key": key, "failure": failure})
+
+    def _append(self, record: dict) -> None:
         self._path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(
-            {"schema": STORE_SCHEMA, "key": key, "result": result},
-            sort_keys=True, separators=(",", ":"),
-        )
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":"))
         data = (line + "\n").encode("utf-8")
         fd = os.open(str(self._path),
                      os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
@@ -110,6 +158,15 @@ class SweepStore:
         """Iterate over every cached key."""
         return iter(self._results)
 
+    def failure_keys(self) -> Iterator[str]:
+        """Iterate over every quarantined key."""
+        return iter(self._failures)
+
+    @property
+    def failure_count(self) -> int:
+        """Quarantined keys currently on record."""
+        return len(self._failures)
+
     def __contains__(self, key: str) -> bool:
         return key in self._results
 
@@ -117,4 +174,5 @@ class SweepStore:
         return len(self._results)
 
     def __repr__(self) -> str:
-        return f"SweepStore({str(self._path)!r}, {len(self)} results)"
+        return (f"SweepStore({str(self._path)!r}, {len(self)} results, "
+                f"{self.failure_count} quarantined)")
