@@ -578,6 +578,168 @@ def measure_sweep(scale: float, repeats: int,
 
 
 # ---------------------------------------------------------------------------
+# Warm-start checkpoint experiment (boot-phase reuse across a sweep).
+# ---------------------------------------------------------------------------
+
+def _warm_specs_and_boot(scale: float):
+    """A deliberately boot-heavy workload for the warm-start measure.
+
+    The boot phase carries ~10x the measured phase's transactions, so
+    resuming from a boot checkpoint skips most of each point's work —
+    the regime checkpointing exists for (long deterministic warm-up,
+    short measured window).
+    """
+    from repro.explore import BootSpec, MasterTrafficSpec
+    from repro.kernel import ms
+
+    measured = max(8, int(40 * scale))
+    boot_txns = max(80, int(400 * scale))
+    specs = (
+        MasterTrafficSpec("cpu", pattern="random", base=0x0,
+                          size=1 << 14, burst_length=1, gap=ns(40),
+                          transactions=measured, priority=0),
+        MasterTrafficSpec("dma", pattern="stream", base=0x100000,
+                          size=1 << 14, burst_length=8, gap=ns(60),
+                          transactions=measured, priority=1),
+    )
+    boot = BootSpec(specs=tuple(
+        MasterTrafficSpec(f"boot_{s.name}", pattern=s.pattern,
+                          base=s.base, size=s.size,
+                          burst_length=s.burst_length, gap=s.gap,
+                          transactions=boot_txns, priority=s.priority)
+        for s in specs
+    ), until=ms(1))
+    return specs, boot, measured, boot_txns
+
+
+def measure_warm_start(scale: float, repeats: int,
+                       workers: int = SWEEP_WORKERS):
+    """Warm-started vs cold sweep on a boot-heavy workload; returns
+    ``(record, failures)``.
+
+    Cold runs simulate boot + measured phases per point; warm runs
+    resume every point from its family's boot checkpoint
+    (``repro.snapshot``) and simulate only the measured suffix.  The
+    checkpoint materialization pass runs off the clock (it is paid
+    once per family, not per run), mirroring how the sweep CLI
+    amortizes it across resumed sessions.
+
+    Deterministic gates in every mode, quick included: warm results
+    must be **bit-identical** to cold ones, and every point must
+    actually resume warm (zero cold fallbacks).  The trajectory gates
+    ``warm_start_per_point_ms`` and ``checkpoint_restore_ms`` against
+    the recorded baseline on full runs.
+    """
+    import tempfile
+
+    from repro.explore import DesignSpace, materialize_boot_checkpoint
+    from repro.explore.runner import decode_payload, run_point
+    from repro.kernel import ms
+    from repro.snapshot import Checkpoint
+    from repro.sweep import SweepEngine, points_for_space
+
+    failures = []
+    space = DesignSpace(
+        fabrics=("generic", "crossbar"),
+        arbiters=("static-priority",),
+        clock_periods=(ns(10),),
+        max_bursts=(16,),
+    )
+    specs, boot, measured_txns, boot_txns = _warm_specs_and_boot(scale)
+
+    def mk_points():
+        return points_for_space(space, specs, workload="warmbench",
+                                max_sim_time=ms(5), seed=3, boot=boot)
+
+    n_points = len(mk_points())
+
+    with SweepEngine(workers=workers) as engine:
+        engine.run(mk_points())  # spawn + warm the pool off the clock
+        best_cold = None
+        cold_outcomes = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            outcomes = engine.run(mk_points())
+            wall = time.perf_counter() - start
+            if best_cold is None or wall < best_cold:
+                best_cold, cold_outcomes = wall, outcomes
+    cold_rows = [_det_row(o.result) for o in cold_outcomes]
+
+    with tempfile.TemporaryDirectory(prefix="bench_ckpt_") as ckpt_dir:
+        with SweepEngine(workers=workers, checkpoint_dir=ckpt_dir,
+                         warm_start=True) as engine:
+            # First run materializes the boot checkpoints (paid once
+            # per family) and re-warms this engine's pool.
+            start = time.perf_counter()
+            engine.run(mk_points())
+            materialize_wall = time.perf_counter() - start
+            families = engine.session_checkpoints
+
+            best_warm = None
+            warm_outcomes = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                outcomes = engine.run(mk_points())
+                wall = time.perf_counter() - start
+                if best_warm is None or wall < best_warm:
+                    best_warm, warm_outcomes = wall, outcomes
+            if engine.last_warm_points != n_points:
+                failures.append(
+                    f"warm sweep resumed only {engine.last_warm_points} "
+                    f"of {n_points} points from checkpoints"
+                )
+        warm_rows = [_det_row(o.result) for o in warm_outcomes]
+        if warm_rows != cold_rows:
+            failures.append(
+                "warm-started sweep results differ from the cold sweep; "
+                "checkpoint restore must be bit-deterministic"
+            )
+
+        # Restore micro-measure: checkpoint load + state overlay cost
+        # for one point, isolated from simulation time (best of N).
+        point = mk_points()[0]
+        digest = materialize_boot_checkpoint(
+            point.to_payload(), ckpt_dir, point.family_key())
+        best_load = None
+        best_restore = None
+        for _ in range(max(repeats, 3)):
+            start = time.perf_counter()
+            checkpoint = Checkpoint.load(ckpt_dir, digest)
+            load_wall = time.perf_counter() - start
+            timings: dict = {}
+            kwargs = decode_payload(point.to_payload())
+            kwargs["warm_snapshot"] = checkpoint.snapshot
+            run_point(timings=timings, **kwargs)
+            restore_wall = load_wall + timings.get("restore_s", 0.0)
+            if best_load is None or load_wall < best_load:
+                best_load = load_wall
+            if best_restore is None or restore_wall < best_restore:
+                best_restore = restore_wall
+
+    record = {
+        "points": n_points,
+        "workers": workers,
+        "cpus": _available_cpus(),
+        "boot_transactions": boot_txns,
+        "measured_transactions": measured_txns,
+        "checkpoint_families": families,
+        "cold_wall_s": round(best_cold, 5),
+        "warm_wall_s": round(best_warm, 5),
+        "materialize_wall_s": round(materialize_wall, 5),
+        "cold_per_point_ms": round(best_cold / n_points * 1e3, 4),
+        "warm_start_per_point_ms": round(best_warm / n_points * 1e3, 4),
+        # <1.0 = warm wins; the boot-heavy workload should sit well
+        # below 1.0 (most of each cold point is skipped warm-up).
+        "warm_over_cold_ratio": round(best_warm / best_cold, 4)
+        if best_cold > 0 else float("inf"),
+        "checkpoint_load_ms": round(best_load * 1e3, 4),
+        "checkpoint_restore_ms": round(best_restore * 1e3, 4),
+        "deterministic": warm_rows == cold_rows,
+    }
+    return record, failures
+
+
+# ---------------------------------------------------------------------------
 # Chaos determinism experiment (self-healing sweep runtime).
 # ---------------------------------------------------------------------------
 
@@ -840,9 +1002,23 @@ def run_e1_levels(repeats: int) -> dict:
 
 def compare(kernel: dict, e1: dict, baseline: dict,
             sweep: Optional[dict] = None,
-            stats: Optional[dict] = None):
+            stats: Optional[dict] = None,
+            warm: Optional[dict] = None):
     """Annotate results with speedups; return the list of regressions."""
     regressions = []
+    # Warm-start trajectory gates (lower is better for both keys).
+    for key, label in (("warm_start_per_point_ms",
+                        "warm/warm_start_per_point_ms"),
+                       ("checkpoint_restore_ms",
+                        "warm/checkpoint_restore_ms")):
+        base_value = baseline.get(key)
+        if warm and base_value and warm.get(key):
+            measured = warm[key]
+            warm[f"baseline_{key}"] = base_value
+            ratio = base_value / measured
+            warm[f"{key}_vs_baseline"] = round(ratio, 2)
+            if measured > base_value * (1.0 + REGRESSION_TOLERANCE):
+                regressions.append((label, ratio))
     base_repl_rate = baseline.get("stats_replicates_per_s")
     if stats and base_repl_rate:
         ratio = stats["replicates_per_s"] / base_repl_rate
@@ -979,17 +1155,21 @@ def main(argv=None) -> int:
             )
     stats, stats_failures = measure_stats(scale, args.repeat,
                                           workers=args.sweep_workers)
+    warm, warm_failures = measure_warm_start(scale, args.repeat,
+                                             workers=args.sweep_workers)
     chaos, chaos_failures = None, []
     if args.chaos != "off":
         chaos, chaos_failures = measure_chaos(
             scale, workers=args.sweep_workers, spec=args.chaos)
     obs_failures = (noop_hook_check() + fault_off_check()
-                    + sweep_failures + stats_failures + chaos_failures)
+                    + sweep_failures + stats_failures + warm_failures
+                    + chaos_failures)
 
     baseline = {}
     if args.baseline.exists() and not args.quick:
         baseline = json.loads(args.baseline.read_text())
-    regressions = compare(kernel, e1, baseline, sweep=sweep, stats=stats)
+    regressions = compare(kernel, e1, baseline, sweep=sweep, stats=stats,
+                          warm=warm)
     base_obs_off = baseline.get("obs_off_rate_per_s")
     if base_obs_off:
         obs["baseline_off_rate_per_s"] = base_obs_off
@@ -1010,6 +1190,7 @@ def main(argv=None) -> int:
         "obs": obs,
         "sweep": sweep,
         "stats": stats,
+        "warm_start": warm,
         "chaos": chaos,
     }
     args.output.write_text(json.dumps(record, indent=1) + "\n")
@@ -1038,6 +1219,16 @@ def main(argv=None) -> int:
           f"x{stats['overhead_ratio']:.2f} per-replicate vs plain "
           f"point), CRN variance ratio "
           f"{stats['crn_variance_ratio']:.2f}")
+    print(f"warm start: {warm['points']} points "
+          f"(boot {warm['boot_transactions']} / measured "
+          f"{warm['measured_transactions']} txns) — cold "
+          f"{warm['cold_per_point_ms']:.1f}ms/pt, warm "
+          f"{warm['warm_start_per_point_ms']:.1f}ms/pt "
+          f"(x{warm['warm_over_cold_ratio']:.2f} of cold), restore "
+          f"{warm['checkpoint_restore_ms']:.2f}ms, "
+          f"{warm['checkpoint_families']} checkpoint family(ies), "
+          f"results "
+          f"{'bit-identical' if warm['deterministic'] else 'DIVERGED'}")
     if chaos is not None:
         print(f"chaos: {chaos['plan']} on {chaos['points']} points — "
               f"{chaos['kills_delivered']} kill(s), "
@@ -1070,6 +1261,8 @@ def main(argv=None) -> int:
             "sweep_points_per_s": sweep["parallel_points_per_s"],
             "sweep_dispatch_overhead_ms": sweep["dispatch_overhead_ms"],
             "stats_replicates_per_s": stats["replicates_per_s"],
+            "warm_start_per_point_ms": warm["warm_start_per_point_ms"],
+            "checkpoint_restore_ms": warm["checkpoint_restore_ms"],
         }
         args.baseline.write_text(json.dumps(new_baseline, indent=2) + "\n")
         print(f"re-recorded baseline at {args.baseline}")

@@ -27,6 +27,13 @@ class Arbiter(ABC):
     def reset(self) -> None:
         """Clear adaptive state between runs."""
 
+    def snapshot_state(self) -> dict:
+        """Adaptive state for checkpointing (see ``repro.snapshot``)."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Reload state captured by :meth:`snapshot_state`."""
+
 
 class StaticPriorityArbiter(Arbiter):
     """Lowest priority value wins; ties broken by arrival order.
@@ -71,6 +78,13 @@ class RoundRobinArbiter(Arbiter):
         self._order.clear()
         self._next_index = 0
 
+    def snapshot_state(self) -> dict:
+        return {"order": list(self._order), "next_index": self._next_index}
+
+    def restore_state(self, state: dict) -> None:
+        self._order = list(state["order"])
+        self._next_index = state["next_index"]
+
 
 class TdmaArbiter(Arbiter):
     """Time-division slots; each slot cycle-range is owned by one master.
@@ -111,6 +125,12 @@ class TdmaArbiter(Arbiter):
 
     def reset(self) -> None:
         self._fallback.reset()
+
+    def snapshot_state(self) -> dict:
+        return {"fallback": self._fallback.snapshot_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self._fallback.restore_state(state["fallback"])
 
 
 def make_arbiter(kind: str, **kwargs) -> Arbiter:

@@ -144,6 +144,12 @@ class _MasterSocket(SimObject, OcpTargetIf):
         self.priority = priority
         self.split_transactions = 0
 
+    def __snapshot__(self) -> dict:
+        return {"split_transactions": self.split_transactions}
+
+    def __restore__(self, state: dict) -> None:
+        self.split_transactions = state["split_transactions"]
+
     def transport(self, request: OcpRequest) -> Generator:
         if request.master_id is None:
             request.master_id = self.full_name
@@ -212,6 +218,31 @@ class BusStats:
         self.channel_busy_cycles[channel] = (
             self.channel_busy_cycles.get(channel, 0) + data_cycles
         )
+
+    def __snapshot__(self) -> dict:
+        return {
+            "latency_by_master": {
+                name: stats.__snapshot__()
+                for name, stats in self.latency_by_master.items()
+            },
+            "transactions": self.transactions,
+            "bytes": self.bytes,
+            "error_responses": self.error_responses,
+            "data_busy_cycles": self.data_busy_cycles,
+            "channel_busy_cycles": dict(self.channel_busy_cycles),
+        }
+
+    def __restore__(self, state: dict) -> None:
+        self.latency_by_master = {}
+        for name, payload in state["latency_by_master"].items():
+            stats = TimeStats()
+            stats.__restore__(payload)
+            self.latency_by_master[name] = stats
+        self.transactions = state["transactions"]
+        self.bytes = state["bytes"]
+        self.error_responses = state["error_responses"]
+        self.data_busy_cycles = state["data_busy_cycles"]
+        self.channel_busy_cycles = dict(state["channel_busy_cycles"])
 
     def mean_latency_ns(self, master: Optional[str] = None) -> float:
         """Mean latency, per master or overall."""
@@ -534,6 +565,68 @@ class BusCam(Module):
                 nbytes=txn.request.nbytes,
                 burst=txn.request.burst_length,
             )
+
+    # -- checkpoint/restore protocol (see repro.snapshot) --------------------
+
+    def __snapshot_events__(self):
+        return (self._request_event,)
+
+    def __snapshot__(self) -> dict:
+        from repro.snapshot.state import SnapshotError
+
+        if self._pending:
+            raise SnapshotError(
+                f"bus {self.full_name}: {len(self._pending)} transaction(s) "
+                "in flight — not a checkpointable instant"
+            )
+        state = {
+            "stats": self.stats.__snapshot__(),
+            "next_seq": next(self._seq),
+            "arbiter": self.arbiter.snapshot_state(),
+            "channel_free": {
+                channel: when._fs
+                for channel, when in self._channel_free.items()
+            },
+            # Socket roster so lazily created attachment points (crossbar
+            # per-path sockets) can be re-created before their own
+            # records are replayed.
+            "sockets": [
+                [socket.name, socket.priority]
+                for socket in self._sockets.values()
+            ],
+        }
+        injector = self.fault_injector
+        if injector is not None:
+            hook = getattr(injector, "__snapshot__", None)
+            if hook is None:
+                raise SnapshotError(
+                    f"bus {self.full_name}: fault injector "
+                    f"{type(injector).__name__} has no __snapshot__"
+                )
+            state["fault_injector"] = hook()
+        return state
+
+    def __restore__(self, state: dict) -> None:
+        from repro.snapshot.state import SnapshotError
+
+        self.stats.__restore__(state["stats"])
+        self._seq = itertools.count(state["next_seq"])
+        self.arbiter.restore_state(state["arbiter"])
+        self._channel_free = {
+            channel: SimTime._from_fs(when_fs)
+            for channel, when_fs in state["channel_free"].items()
+        }
+        for name, priority in state["sockets"]:
+            self.master_socket(name, priority)
+        payload = state.get("fault_injector")
+        if payload is not None:
+            injector = self.fault_injector
+            if injector is None:
+                raise SnapshotError(
+                    f"bus {self.full_name}: snapshot has fault-injector "
+                    "state but no injector is attached"
+                )
+            injector.__restore__(payload)
 
     # -- reporting ----------------------------------------------------------------------------
 

@@ -52,6 +52,26 @@ class _CrossbarSocket(SimObject, OcpTargetIf):
             self._path_sockets[id(path)] = socket
         return (yield from socket.transport(request))
 
+    # -- checkpoint/restore protocol (see repro.snapshot) -------------------
+
+    def __snapshot__(self) -> dict:
+        # Per-path sockets are created lazily during simulation; record
+        # which paths this master has touched so restore re-links them
+        # (the per-path BusCam re-creates the underlying _MasterSocket
+        # from its own socket roster).
+        touched = [
+            index for index, path in enumerate(self.xbar.paths)
+            if id(path) in self._path_sockets
+        ]
+        return {"paths": touched}
+
+    def __restore__(self, state: dict) -> None:
+        self._path_sockets = {}
+        for index in state["paths"]:
+            path = self.xbar.paths[index]
+            socket = path.master_socket(self.name, priority=self.priority)
+            self._path_sockets[id(path)] = socket
+
 
 class CrossbarCam(Module):
     """A full crossbar fabric built from per-slave CCATB paths."""
@@ -118,6 +138,12 @@ class CrossbarCam(Module):
         )
         self.paths.append(path)
         return binding
+
+    def __snapshot__(self) -> dict:
+        return {"decode_errors": self.decode_errors}
+
+    def __restore__(self, state: dict) -> None:
+        self.decode_errors = state["decode_errors"]
 
     def _decode_path(self, addr: int, nbytes: int) -> Optional[BusCam]:
         for path in self.paths:

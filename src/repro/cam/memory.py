@@ -124,6 +124,22 @@ class MemorySlave(SimObject, OcpTargetIf):
             merged |= source & mask
         return merged
 
+    # -- checkpoint/restore protocol (see repro.snapshot) -----------------------
+
+    def __snapshot__(self) -> dict:
+        return {
+            "words": {str(index): value
+                      for index, value in self._words.items()},
+            "reads": self.reads,
+            "writes": self.writes,
+        }
+
+    def __restore__(self, state: dict) -> None:
+        self._words = {int(index): value
+                       for index, value in state["words"].items()}
+        self.reads = state["reads"]
+        self.writes = state["writes"]
+
     # -- blocking transport ------------------------------------------------------------
 
     def transport(self, request: OcpRequest) -> Generator:

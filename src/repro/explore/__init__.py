@@ -5,16 +5,20 @@ loop, and Pareto analysis, powering the exploration experiment (E3).
 """
 
 from repro.explore.runner import (
+    BootSpec,
     ExplorationResult,
     FaultSpec,
     FaultSummary,
     MasterMetrics,
     PointResult,
+    WARM_START_KEY,
     build_fabric,
     decode_payload,
     explore,
     format_table,
+    materialize_boot_checkpoint,
     pareto_front,
+    point_regions,
     results_to_csv,
     run_payload,
     run_payload_batch,
@@ -38,8 +42,10 @@ from repro.explore.workload import (
 __all__ = [
     "ARBITERS",
     "ArchitectureConfig",
+    "BootSpec",
     "DesignSpace",
     "ExplorationResult",
+    "WARM_START_KEY",
     "FABRICS",
     "FaultSpec",
     "FaultSummary",
@@ -54,7 +60,9 @@ __all__ = [
     "decode_payload",
     "explore",
     "format_table",
+    "materialize_boot_checkpoint",
     "pareto_front",
+    "point_regions",
     "results_to_csv",
     "run_payload",
     "run_payload_batch",

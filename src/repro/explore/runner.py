@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.kernel.context import SimContext
+from repro.kernel.errors import SimulationError
 from repro.kernel.module import Module
 from repro.kernel.simtime import SimTime, us
 from repro.cam.arbiters import make_arbiter
@@ -77,6 +78,46 @@ class MasterMetrics:
             mean_latency_ns=data["mean_latency_ns"],
             max_latency_ns=data["max_latency_ns"],
             latency_series=None if series is None else list(series),
+        )
+
+
+@dataclass
+class BootSpec:
+    """The warm-up phase a checkpointable design point boots through.
+
+    ``specs`` drive the fabric from time zero (cache/arbiter/statistics
+    warming); they must finish before ``until``, the boot horizon at
+    which the platform is quiescent and a checkpoint can be captured.
+    Measured traffic (the point's real workload) starts one
+    femtosecond *after* the horizon, so a run restored from the boot
+    checkpoint replays the measured phase bit-identically to a cold run
+    that simulated the boot inline.
+    """
+
+    specs: Sequence[MasterTrafficSpec]
+    until: SimTime
+
+    def __post_init__(self):
+        if not isinstance(self.specs, tuple):
+            self.specs = tuple(self.specs)
+        if self.until._fs <= 0:
+            raise ValueError("boot horizon must be positive")
+
+    def to_dict(self) -> dict:
+        """JSON-able dict (``until`` as integer femtoseconds)."""
+        return {
+            "until_fs": self.until.femtoseconds,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BootSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            specs=tuple(
+                MasterTrafficSpec.from_dict(s) for s in data["specs"]
+            ),
+            until=SimTime(data["until_fs"]),
         )
 
 
@@ -306,37 +347,73 @@ def build_fabric(config: ArchitectureConfig, parent: Module,
     )
 
 
-def run_point(
+def _clamped_spec(spec: MasterTrafficSpec,
+                  config: ArchitectureConfig) -> MasterTrafficSpec:
+    """The spec with its burst clamped to the config's ``max_burst``."""
+    if spec.burst_length <= config.max_burst:
+        return spec
+    return MasterTrafficSpec(
+        name=spec.name, pattern=spec.pattern, base=spec.base,
+        size=spec.size, burst_length=config.max_burst,
+        gap=spec.gap, read_fraction=spec.read_fraction,
+        transactions=spec.transactions, priority=spec.priority,
+        word_bytes=spec.word_bytes,
+    )
+
+
+def point_regions(specs: Sequence[MasterTrafficSpec],
+                  boot: Optional[BootSpec] = None) -> List[tuple]:
+    """Ordered distinct ``(base, size)`` regions of a design point.
+
+    Boot regions come first so the boot-only capture context and the
+    full (measured) context create memories in the same order under the
+    same names — the alignment a checkpoint restore relies on.  The
+    region list is part of a point's checkpoint family identity.
+    """
+    regions: List[tuple] = []
+    ordered = list(boot.specs) if boot is not None else []
+    ordered.extend(specs)
+    for spec in ordered:
+        if (spec.base, spec.size) not in regions:
+            regions.append((spec.base, spec.size))
+    return regions
+
+
+def _build_point(
     config: ArchitectureConfig,
     specs: Sequence[MasterTrafficSpec],
-    workload_name: str = "workload",
-    max_sim_time: SimTime = us(10_000),
-    seed: int = 1,
-    memory_read_wait: int = 1,
-    memory_write_wait: int = 1,
+    seed: int,
+    memory_read_wait: int,
+    memory_write_wait: int,
     metrics=None,
     observer=None,
     faults: Optional[FaultSpec] = None,
     rng_streams: bool = False,
     record_series: bool = False,
-) -> ExplorationResult:
-    """Simulate one design point to workload completion.
+    boot: Optional[BootSpec] = None,
+    include_measured: bool = True,
+):
+    """Instantiate one design point's simulation.
 
-    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) and ``observer``
-    (a :class:`repro.obs.SimObserver`) instrument this point's private
-    simulation — profile or trace a single design point without
-    slowing the rest of the sweep.  ``faults`` (a :class:`FaultSpec`)
-    injects seeded bus errors, decode misses and memory bit flips into
-    this point; the resulting ``repro.faults.FaultPlan`` rides back on
-    :attr:`ExplorationResult.fault_plan`.  ``rng_streams`` switches the
-    traffic masters to per-``(master, stream)`` RNG substreams (the
-    common-random-numbers discipline of :mod:`repro.stats`), and
-    ``record_series`` exports each master's per-transaction latency
-    series on its :class:`MasterMetrics` for steady-state estimation.
+    Returns ``(ctx, masters, fabric, fault_plan)`` where ``masters``
+    are the *measured* traffic masters (empty when
+    ``include_measured=False``, the boot-checkpoint capture form).  The
+    boot-only build is an exact structural prefix of the full build —
+    same fabric, memories, injectors and boot masters, in the same
+    creation order — so state captured from one restores into the
+    other.
     """
+    if boot is not None:
+        boot_names = {s.name for s in boot.specs}
+        clash = boot_names.intersection(s.name for s in specs)
+        if clash:
+            raise SimulationError(
+                f"boot and measured master names collide: {sorted(clash)}"
+            )
     ctx = SimContext(name=f"explore_{config.name}")
     top = Module("top", ctx=ctx)
-    fabric = build_fabric(config, top, specs, metrics=metrics)
+    all_specs = (list(boot.specs) if boot is not None else []) + list(specs)
+    fabric = build_fabric(config, top, all_specs, metrics=metrics)
     if observer is not None:
         ctx.attach_observer(observer)
     fault_plan = None
@@ -362,11 +439,7 @@ def run_point(
     # crossbar its concurrency opportunity; masters sharing a region
     # (the "contended" workload) share one slave, which is where
     # slave-side contention dominates and fabrics converge.
-    regions = []
-    for spec in specs:
-        if (spec.base, spec.size) not in regions:
-            regions.append((spec.base, spec.size))
-    for i, (base, size) in enumerate(regions):
+    for i, (base, size) in enumerate(point_regions(specs, boot)):
         memory = MemorySlave(
             f"mem{i}", top, size=size,
             read_wait=memory_read_wait, write_wait=memory_write_wait,
@@ -377,24 +450,87 @@ def run_point(
                 f"seu{i}", top, memory=memory, plan=fault_plan,
                 period=faults.mem_flip_period,
             )
-    masters = []
-    for spec in specs:
-        effective = spec
-        if spec.burst_length > config.max_burst:
-            effective = MasterTrafficSpec(
-                name=spec.name, pattern=spec.pattern, base=spec.base,
-                size=spec.size, burst_length=config.max_burst,
-                gap=spec.gap, read_fraction=spec.read_fraction,
-                transactions=spec.transactions, priority=spec.priority,
-                word_bytes=spec.word_bytes,
-            )
-        socket = fabric.master_socket(spec.name, priority=spec.priority)
-        masters.append(
+    if boot is not None:
+        for spec in boot.specs:
+            socket = fabric.master_socket(spec.name,
+                                          priority=spec.priority)
             TrafficMaster(f"tm_{spec.name}", top, socket=socket,
-                          spec=effective, seed=seed,
-                          rng_streams=rng_streams,
-                          record_series=record_series)
+                          spec=_clamped_spec(spec, config), seed=seed,
+                          rng_streams=rng_streams)
+    masters = []
+    if include_measured:
+        # Measured traffic starts one femtosecond past the boot
+        # horizon: the boot run's event loop fires entries *at* the
+        # horizon, so anything scheduled there would already have run
+        # before the checkpoint was captured.
+        start_time = (SimTime(boot.until._fs + 1)
+                      if boot is not None else None)
+        for spec in specs:
+            socket = fabric.master_socket(spec.name,
+                                          priority=spec.priority)
+            masters.append(
+                TrafficMaster(f"tm_{spec.name}", top, socket=socket,
+                              spec=_clamped_spec(spec, config), seed=seed,
+                              rng_streams=rng_streams,
+                              record_series=record_series,
+                              start_time=start_time)
+            )
+    return ctx, masters, fabric, fault_plan
+
+
+def run_point(
+    config: ArchitectureConfig,
+    specs: Sequence[MasterTrafficSpec],
+    workload_name: str = "workload",
+    max_sim_time: SimTime = us(10_000),
+    seed: int = 1,
+    memory_read_wait: int = 1,
+    memory_write_wait: int = 1,
+    metrics=None,
+    observer=None,
+    faults: Optional[FaultSpec] = None,
+    rng_streams: bool = False,
+    record_series: bool = False,
+    boot: Optional[BootSpec] = None,
+    warm_snapshot: Optional[dict] = None,
+    timings: Optional[dict] = None,
+) -> ExplorationResult:
+    """Simulate one design point to workload completion.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) and ``observer``
+    (a :class:`repro.obs.SimObserver`) instrument this point's private
+    simulation — profile or trace a single design point without
+    slowing the rest of the sweep.  ``faults`` (a :class:`FaultSpec`)
+    injects seeded bus errors, decode misses and memory bit flips into
+    this point; the resulting ``repro.faults.FaultPlan`` rides back on
+    :attr:`ExplorationResult.fault_plan`.  ``rng_streams`` switches the
+    traffic masters to per-``(master, stream)`` RNG substreams (the
+    common-random-numbers discipline of :mod:`repro.stats`), and
+    ``record_series`` exports each master's per-transaction latency
+    series on its :class:`MasterMetrics` for steady-state estimation.
+
+    ``boot`` prepends a warm-up phase (see :class:`BootSpec`); the
+    measured masters then start one femtosecond past the boot horizon.
+    ``warm_snapshot`` (a :func:`repro.snapshot.capture_state` dict of
+    the boot phase) skips simulating the boot: the fresh build is
+    restored from the snapshot and only the measured phase runs —
+    bit-identical to the cold (boot-inline) run by construction.
+    ``timings`` (a dict, when given) receives ``restore_s``, the
+    wall-clock cost of the state restore.
+    """
+    ctx, masters, fabric, fault_plan = _build_point(
+        config, specs, seed, memory_read_wait, memory_write_wait,
+        metrics=metrics, observer=observer, faults=faults,
+        rng_streams=rng_streams, record_series=record_series, boot=boot,
+    )
+    if warm_snapshot is not None:
+        restore_t0 = time.perf_counter()
+        extras = (
+            {"fault_plan": fault_plan} if fault_plan is not None else None
         )
+        ctx.resume(warm_snapshot, extras=extras)
+        if timings is not None:
+            timings["restore_s"] = time.perf_counter() - restore_t0
     wall_start = time.perf_counter()
     ctx.run(max_sim_time)
     wall = time.perf_counter() - wall_start
@@ -455,7 +591,87 @@ def decode_payload(payload: dict) -> dict:
         # .get() keeps payloads from pre-stats callers decodable.
         "rng_streams": payload.get("rng_streams", False),
         "record_series": payload.get("record_series", False),
+        "boot": (
+            None if payload.get("boot") is None
+            else BootSpec.from_dict(payload["boot"])
+        ),
     }
+
+
+#: Payload key carrying warm-start directions (``{"dir", "digest"}``).
+#: The sweep engine annotates payloads with it *after* cache-key
+#: resolution, so warm-start is a transport detail, never part of a
+#: point's identity — warm and cold runs share keys, caches and golden
+#: files by construction.
+WARM_START_KEY = "__warm_start__"
+
+#: Process-global digest-keyed checkpoint cache.  A warm worker loads
+#: and verifies each family checkpoint once, then restores every point
+#: of that family from the in-memory snapshot.
+_checkpoint_cache: Dict[str, object] = {}
+
+
+def _load_warm_snapshot(warm: dict) -> dict:
+    """The (cached) verified snapshot a warm-start direction points at."""
+    from repro.snapshot import Checkpoint
+
+    digest = warm["digest"]
+    checkpoint = _checkpoint_cache.get(digest)
+    if checkpoint is None:
+        checkpoint = Checkpoint.load(warm["dir"], digest)
+        _checkpoint_cache[digest] = checkpoint
+    return checkpoint.snapshot
+
+
+def materialize_boot_checkpoint(payload: dict, directory: str,
+                                family_key: str) -> str:
+    """Simulate a payload's boot phase and checkpoint it; return digest.
+
+    Builds the point's *boot-only* form (fabric, memories, fault
+    injectors and boot masters — no measured masters), runs it to the
+    boot horizon, and saves the captured state under
+    ``checkpoint_digest(family_key, horizon_fs)`` in *directory*.  An
+    existing file for that digest short-circuits: checkpoints are
+    content-addressed, so a hit is the same bytes.  Raises
+    :class:`repro.snapshot.CheckpointError` when the payload has no
+    boot phase or the boot masters did not finish by the horizon (a
+    checkpoint of an unfinished boot would leak boot traffic into the
+    measured phase).
+    """
+    from repro.snapshot import Checkpoint, CheckpointError, checkpoint_digest
+
+    kwargs = decode_payload(payload)
+    boot = kwargs["boot"]
+    if boot is None:
+        raise CheckpointError("payload has no boot phase to checkpoint")
+    digest = checkpoint_digest(family_key, boot.until._fs)
+    if os.path.exists(Checkpoint.path_for(directory, digest)):
+        return digest
+    ctx, _, _, fault_plan = _build_point(
+        kwargs["config"], kwargs["specs"], kwargs["seed"],
+        kwargs["memory_read_wait"], kwargs["memory_write_wait"],
+        faults=kwargs["faults"], rng_streams=kwargs["rng_streams"],
+        boot=boot, include_measured=False,
+    )
+    ctx.run(boot.until)
+    unfinished = [
+        spec.name for spec in boot.specs
+        if not ctx.objects[f"top.tm_{spec.name}"].done
+    ]
+    if unfinished:
+        raise CheckpointError(
+            f"boot masters unfinished at horizon: {unfinished} — raise the "
+            "boot horizon or shrink the boot workload"
+        )
+    extras = {"fault_plan": fault_plan} if fault_plan is not None else None
+    checkpoint = Checkpoint.capture(
+        ctx, config_key=family_key, extras=extras,
+        meta={"boot_until_fs": boot.until._fs,
+              "config": kwargs["config"].name},
+    )
+    checkpoint.save(directory)
+    _checkpoint_cache[digest] = checkpoint
+    return digest
 
 
 #: Env var mapping config names to injected hazards (JSON object, e.g.
@@ -504,14 +720,23 @@ def run_payload(payload: dict) -> dict:
     """
     kwargs = decode_payload(payload)
     _maybe_trigger_hazard(kwargs["config"].name)
+    warm = payload.get(WARM_START_KEY)
+    if warm is not None and kwargs["boot"] is not None:
+        kwargs["warm_snapshot"] = _load_warm_snapshot(warm)
     return run_point(**kwargs).to_dict()
 
 
 def _error_marker(exc: Exception) -> dict:
     # Lazy import: repro.sweep imports this module at package-import
     # time, so the reverse dependency must resolve at call time only.
-    from repro.sweep.recovery import failure_from_exception
+    from repro.snapshot import CheckpointError, SnapshotError
+    from repro.sweep.recovery import (
+        failure_from_exception,
+        failure_from_restore,
+    )
 
+    if isinstance(exc, (CheckpointError, SnapshotError)):
+        return {"__sweep_error__": failure_from_restore(exc)}
     return {"__sweep_error__": failure_from_exception(exc)}
 
 
@@ -583,12 +808,20 @@ def run_payload_batch_telemetry(
             if raw_config.get("fabric") and raw_config.get("arbiter")
             else None)
         t0 = time.time()
+        warm_digest = None
+        timings: dict = {}
         try:
             kwargs = decode_payload(payload)
             config_name = kwargs["config"].name
+            warm = payload.get(WARM_START_KEY)
             t1 = time.time()
             _maybe_trigger_hazard(config_name)
-            result = run_point(metrics=registry, **kwargs)
+            if warm is not None and kwargs["boot"] is not None:
+                load_t0 = time.perf_counter()
+                kwargs["warm_snapshot"] = _load_warm_snapshot(warm)
+                timings["load_s"] = time.perf_counter() - load_t0
+                warm_digest = warm["digest"]
+            result = run_point(metrics=registry, timings=timings, **kwargs)
             t2 = time.time()
             data = result.to_dict()
             t3 = time.time()
@@ -605,12 +838,25 @@ def run_payload_batch_telemetry(
         args = {"point": config_name}
         if key is not None:
             args["key"] = key
-        for name, begin, end in (("setup", t0, t1),
-                                 ("simulate", t1, t2),
-                                 ("serialize", t2, t3)):
+        # A warm point splits [t1, t2] into restore (checkpoint load +
+        # state overlay) and simulate; the restore wall time comes from
+        # the run itself so the span boundary is exact.
+        restore_s = timings.get("load_s", 0.0) + timings.get("restore_s", 0.0)
+        sim_begin = t1 + restore_s
+        named_spans = [("setup", t0, t1)]
+        if warm_digest is not None:
+            named_spans.append(("restore", t1, sim_begin))
+        named_spans.extend((("simulate", sim_begin, t2),
+                            ("serialize", t2, t3)))
+        for name, begin, end in named_spans:
             spans.append({"name": name, "t0": begin, "t1": end,
                           "args": dict(args)})
         if emit is not None:
+            if warm_digest is not None:
+                emit({"type": "checkpoint_restored",
+                      "worker_id": worker_id, "pid": pid, "key": key,
+                      "config": config_name, "digest": warm_digest,
+                      "restore_s": restore_s})
             emit({"type": "point_done", "worker_id": worker_id,
                   "pid": pid, "key": key,
                   "config": config_name})

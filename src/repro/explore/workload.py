@@ -32,6 +32,18 @@ PATTERNS = ("stream", "random", "pingpong")
 SUBSTREAMS = ("addr", "rw", "gap", "data")
 
 
+def _rng_json(rng: random.Random) -> list:
+    """JSON-able encoding of ``Random.getstate()`` (tuple -> lists)."""
+    version, internal, gauss = rng.getstate()
+    return [version, list(internal), gauss]
+
+
+def _rng_from_json(payload) -> tuple:
+    """Inverse of :func:`_rng_json` (lists -> the setstate tuple)."""
+    version, internal, gauss = payload
+    return (version, tuple(internal), gauss)
+
+
 def substream_seed(seed: int, master: str, stream: str) -> str:
     """Canonical seed string of one ``(master, stream)`` RNG substream.
 
@@ -156,7 +168,8 @@ class TrafficMaster(Module):
     def __init__(self, name, parent=None, ctx=None,
                  socket=None, spec: MasterTrafficSpec = None,
                  seed: int = 1, rng_streams: bool = False,
-                 record_series: bool = False):
+                 record_series: bool = False,
+                 start_time: Optional[SimTime] = None):
         super().__init__(name, parent, ctx)
         if socket is None or spec is None:
             raise SimulationError(
@@ -191,7 +204,10 @@ class TrafficMaster(Module):
         self.completed = 0
         self.errors = 0
         self.last_done: SimTime = ZERO_TIME
+        self.start_time = start_time
         self._stream_offset = 0
+        self._index = 0
+        self._pending_gap_fs: Optional[int] = None
         self.add_thread(self._drive, "drive")
 
     # -- request generation ------------------------------------------------------
@@ -237,11 +253,23 @@ class TrafficMaster(Module):
 
     def _drive(self) -> Generator:
         spec = self.spec
-        index = 0
-        while spec.transactions is None or index < spec.transactions:
-            gap = self._gap_time()
-            if gap > ZERO_TIME:
-                yield gap
+        if self.start_time is not None:
+            # Absolute anchor: the wait is recomputed from *now*, so a
+            # master created at restore time parks at the same absolute
+            # instant a cold run's master does.
+            start_fs = self.start_time._fs
+            while self.ctx._now_fs < start_fs:
+                yield SimTime(start_fs - self.ctx._now_fs)
+        while spec.transactions is None or self._index < spec.transactions:
+            if self._pending_gap_fs is None:
+                # Persist the drawn gap before yielding: a checkpoint
+                # taken while parked on the gap must not redraw it on
+                # restore (the RNG stream already advanced).
+                self._pending_gap_fs = self._gap_time()._fs
+            if self._pending_gap_fs > 0:
+                yield SimTime(self._pending_gap_fs)
+            self._pending_gap_fs = None
+            index = self._index
             request = self._next_request(index)
             begin = self.ctx.now
             response = yield from self.socket.transport(request)
@@ -255,7 +283,51 @@ class TrafficMaster(Module):
                 self.errors += 1
             self.completed += 1
             self.last_done = self.ctx.now
-            index += 1
+            self._index = index + 1
+
+    # -- checkpoint/restore protocol (see repro.snapshot) --------------------
+
+    def __snapshot__(self) -> dict:
+        state = {
+            "rng": _rng_json(self.rng),
+            "latency": self.latency.__snapshot__(),
+            "latency_series": (
+                list(self.latency_series)
+                if self.latency_series is not None else None
+            ),
+            "bytes_done": self.bytes_done,
+            "completed": self.completed,
+            "errors": self.errors,
+            "last_done_fs": self.last_done._fs,
+            "stream_offset": self._stream_offset,
+            "index": self._index,
+            "pending_gap_fs": self._pending_gap_fs,
+        }
+        if self.rng_streams:
+            state["streams"] = {
+                name: _rng_json(getattr(self, f"_rng_{name}"))
+                for name in SUBSTREAMS
+            }
+        return state
+
+    def __restore__(self, state: dict) -> None:
+        self.rng.setstate(_rng_from_json(state["rng"]))
+        if self.rng_streams and "streams" in state:
+            for name, payload in state["streams"].items():
+                getattr(self, f"_rng_{name}").setstate(
+                    _rng_from_json(payload))
+        self.latency.__restore__(state["latency"])
+        if state["latency_series"] is None:
+            self.latency_series = None
+        else:
+            self.latency_series = list(state["latency_series"])
+        self.bytes_done = state["bytes_done"]
+        self.completed = state["completed"]
+        self.errors = state["errors"]
+        self.last_done = SimTime(state["last_done_fs"])
+        self._stream_offset = state["stream_offset"]
+        self._index = state["index"]
+        self._pending_gap_fs = state["pending_gap_fs"]
 
     @property
     def done(self) -> bool:

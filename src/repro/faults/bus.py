@@ -61,6 +61,25 @@ class BusFaultInjector:
         self.starved_rounds = 0
         self._starve_window_open = False
 
+    def __snapshot__(self) -> dict:
+        state = {
+            "starved_rounds": self.starved_rounds,
+            "starve_window_open": self._starve_window_open,
+        }
+        for name in ("error", "decode", "starve"):
+            rule = getattr(self, name)
+            if rule is not None:
+                state[name] = rule.__snapshot__()
+        return state
+
+    def __restore__(self, state: dict) -> None:
+        self.starved_rounds = state["starved_rounds"]
+        self._starve_window_open = state["starve_window_open"]
+        for name in ("error", "decode", "starve"):
+            rule = getattr(self, name)
+            if rule is not None and name in state:
+                rule.__restore__(state[name])
+
     def arbitration_candidates(self, bus, pending: List) -> List:
         """Bus hook: the subset of ``pending`` the arbiter may grant."""
         rule = self.starve

@@ -63,6 +63,12 @@ class MemoryFaultInjector(SimObject):
         self.flips = 0
         self.ctx.register_thread(self._run, f"{self.full_name}.flip")
 
+    def __snapshot__(self) -> dict:
+        return {"flips": self.flips}
+
+    def __restore__(self, state: dict) -> None:
+        self.flips = state["flips"]
+
     def flip_one(self) -> None:
         """Flip one random bit of one random word right now."""
         mem = self.memory

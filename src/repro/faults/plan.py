@@ -78,6 +78,13 @@ class FaultRule:
             return False
         return True
 
+    def __snapshot__(self) -> dict:
+        return {"seen": self.seen, "fires": self.fires}
+
+    def __restore__(self, state: dict) -> None:
+        self.seen = state["seen"]
+        self.fires = state["fires"]
+
     def matches(self, rng: Random, now_fs: int,
                 addr: Optional[int] = None) -> bool:
         """Decide one candidate event; counts it and may consume RNG."""
@@ -132,6 +139,32 @@ class FaultPlan:
                 counter = self._counters[name] = self.metrics.counter(name)
             counter.inc()
         return rec
+
+    # -- checkpoint/restore protocol (see repro.snapshot) -------------------
+
+    def __snapshot__(self) -> dict:
+        version, internal, gauss = self.rng.getstate()
+        return {
+            "seed": self.seed,
+            "rng": [version, list(internal), gauss],
+            "log": [
+                [rec.seq, rec.now_fs, rec.kind, rec.detail]
+                for rec in self.log
+            ],
+        }
+
+    def __restore__(self, state: dict) -> None:
+        if state["seed"] != self.seed:
+            raise ValueError(
+                f"fault plan seed mismatch: snapshot has {state['seed']}, "
+                f"this plan has {self.seed}"
+            )
+        version, internal, gauss = state["rng"]
+        self.rng.setstate((version, tuple(internal), gauss))
+        self.log = [
+            FaultRecord(seq, now_fs, kind, detail)
+            for seq, now_fs, kind, detail in state["log"]
+        ]
 
     def count(self, kind: Optional[str] = None) -> int:
         """Number of injected faults, optionally of one kind."""

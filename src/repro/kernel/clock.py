@@ -76,6 +76,31 @@ class Clock(Signal):
                 write(True)
                 yield high_wait
 
+    def __restore_thread__(self, proc_name: str):
+        """Replacement toggle body for snapshot restore.
+
+        ``_toggle`` writes the signal *before* each in-loop yield, so
+        re-priming the original body against restored state would re-do
+        a write that already happened.  The replacement's first yield is
+        a pure shape placeholder (its duration is discarded in favour of
+        the captured timer); on wake, toggling resumes from the restored
+        current value — which also lands in the correct half-period for
+        asymmetric duty cycles, since the wait after each write is
+        chosen by the value just written.
+        """
+        if proc_name != f"{self.full_name}._toggle":
+            return None
+        return self._toggle_resumed
+
+    def _toggle_resumed(self):
+        yield self._high_wait  # placeholder; timing adopted from snapshot
+        write = self.write
+        high_wait, low_wait = self._high_wait, self._low_wait
+        while True:
+            value = not self._current
+            write(value)
+            yield (high_wait if value else low_wait)
+
     def cycles(self, count: int) -> SimTime:
         """Duration of ``count`` clock periods."""
         return self.period * count

@@ -258,6 +258,23 @@ class SimContext:
         """Finalize the design: bind ports, resolve sensitivity, init."""
         if self.elaborated:
             return
+        self._elaborate_structure()
+        # Initialization phase: every process runs once unless it opted out.
+        for proc in self.processes:
+            if getattr(proc, "dont_initialize", False):
+                proc._apply_wait(WaitCondition(WaitMode.STATIC))
+            else:
+                proc.state = ProcessState.READY
+                self._runnable.append(proc)
+        self._run_start_hooks()
+
+    def _elaborate_structure(self) -> None:
+        """The structural half of :meth:`elaborate`: binding, sensitivity,
+        elaboration hooks — everything except the init-phase process
+        queuing and the start-of-simulation hooks.  Snapshot restore
+        (``repro.snapshot``) calls this directly and then overlays the
+        captured process states instead of initializing them.
+        """
         # Give modules a chance to finish construction-time wiring.
         for obj in list(self.objects.values()):
             hook = getattr(obj, "before_end_of_elaboration", None)
@@ -280,17 +297,39 @@ class SimContext:
         for hook in self._elab_hooks:
             hook()
         self.elaborated = True
-        # Initialization phase: every process runs once unless it opted out.
-        for proc in self.processes:
-            if getattr(proc, "dont_initialize", False):
-                proc._apply_wait(WaitCondition(WaitMode.STATIC))
-            else:
-                proc.state = ProcessState.READY
-                self._runnable.append(proc)
+
+    def _run_start_hooks(self) -> None:
         for obj in list(self.objects.values()):
             hook = getattr(obj, "start_of_simulation", None)
             if hook is not None:
                 hook()
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (implemented in repro.snapshot)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, extras: Optional[Dict] = None) -> Dict:
+        """Capture full deterministic kernel state as a JSON-able dict.
+
+        The context must be at a quiescent instant — typically right
+        after ``run(until=...)`` returned.  ``extras`` maps names to
+        non-SimObject state holders (fault plans, metrics registries)
+        implementing ``__snapshot__``/``__restore__``.  See
+        :mod:`repro.snapshot`.
+        """
+        from repro.snapshot.state import capture_state
+        return capture_state(self, extras=extras)
+
+    def resume(self, snapshot: Dict, extras: Optional[Dict] = None) -> None:
+        """Restore a :meth:`checkpoint` snapshot into this fresh context.
+
+        This context must be structurally identical to (a superset of)
+        the captured one, freshly built and never run.  Processes absent
+        from the snapshot are initialized normally, so measured-phase
+        workload can be layered on top of a boot checkpoint.
+        """
+        from repro.snapshot.state import restore_state
+        restore_state(self, snapshot, extras=extras)
 
     # ------------------------------------------------------------------
     # scheduling services (used by Event, Process, channels)

@@ -193,6 +193,31 @@ class Fifo(SimObject, Generic[T]):
         """Fires when space becomes writable."""
         return self._data_read
 
+    # -- checkpoint/restore protocol (see repro.snapshot) -------------------
+
+    def __snapshot_events__(self):
+        return (self._data_written, self._data_read)
+
+    def __snapshot__(self) -> dict:
+        # Quiescent capture means the update phase has drained, so no
+        # writes or read-counts can be in flight.
+        if self._pending_writes or self._reads_this_delta \
+                or self._update_pending:
+            from repro.snapshot.state import SnapshotError
+            raise SnapshotError(
+                f"fifo {self.full_name} has an in-flight update at capture"
+            )
+        return {
+            "items": list(self._items),
+            "total_written": self.total_written,
+            "total_read": self.total_read,
+        }
+
+    def __restore__(self, state: dict) -> None:
+        self._items = deque(state["items"])
+        self.total_written = state["total_written"]
+        self.total_read = state["total_read"]
+
     def __len__(self) -> int:
         return len(self._items)
 

@@ -145,6 +145,32 @@ class Signal(SimObject, Generic[T]):
         """True if this delta's change was a falling edge."""
         return self.event and not self._current
 
+    # -- checkpoint/restore protocol (see repro.snapshot) ---------------------
+
+    def __snapshot_events__(self):
+        return (self._value_changed, self._posedge, self._negedge)
+
+    def __snapshot__(self) -> dict:
+        # Quiescent capture guarantees no pending update, so _next has
+        # already been consumed (or equals the last settled write).
+        return {
+            "current": self._current,
+            "next": self._next,
+            "last_change_delta": self._last_change_delta,
+            "writer": self._writer.name if self._writer is not None else None,
+        }
+
+    def __restore__(self, state: dict) -> None:
+        self._current = state["current"]
+        self._next = state["next"]
+        self._last_change_delta = state["last_change_delta"]
+        writer = state["writer"]
+        if writer is not None:
+            for proc in self.ctx.processes:
+                if proc.name == writer:
+                    self._writer = proc
+                    break
+
     def __repr__(self) -> str:
         return f"Signal({self.full_name!r}, value={self._current!r})"
 

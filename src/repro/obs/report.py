@@ -136,7 +136,9 @@ def format_run_history(records: List[dict],
     One row per record: points, cache split, workers, wall seconds,
     points/s, summed worker simulate time, worst per-worker dispatch
     ping, recovery counts (worker respawns and quarantined points —
-    ``-`` for ledgers written before self-healing existed), and a
+    ``-`` for ledgers written before self-healing existed), checkpoint
+    restores (the ``warm`` column — ``-`` for ledgers written before
+    checkpointing existed), and a
     Δwall%% column against the *previous run with the same config
     digest* (same digest = same requested work, so the delta is a
     like-for-like regression signal).  ``limit`` keeps only the most
@@ -177,12 +179,15 @@ def format_run_history(records: List[dict],
             "rsp": respawns,
             "quar": (str(quarantined) if quarantined is not None
                      else "-"),
+            "warm": (str(rec["restores"])
+                     if rec.get("restores") is not None else "-"),
             "dwall": delta,
         })
     if limit is not None:
         rows = rows[-limit:]
     headers = ["run", "phase", "pts", "hit", "comp", "w", "wall_s",
-               "pts/s", "sim_s", "ping_ms", "rsp", "quar", "dwall"]
+               "pts/s", "sim_s", "ping_ms", "rsp", "quar", "warm",
+               "dwall"]
     widths = {
         h: max(len(h), *(len(r[h]) for r in rows)) for h in headers
     }

@@ -472,6 +472,8 @@ class SweepTelemetry:
             "blobs": [],
             "cache_s": 0.0,
             "dispatch_s": 0.0,
+            "restores": 0,
+            "checkpoints_saved": 0,
         }
         self.stream.emit({
             "type": "run_started", "points": len(keys),
@@ -570,7 +572,7 @@ class SweepTelemetry:
             "cache_s": round(run["cache_s"], 6),
             "dispatch_s": round(run["dispatch_s"], 6),
         }
-        for name in ("setup", "simulate", "serialize"):
+        for name in ("setup", "restore", "simulate", "serialize"):
             timing[f"worker_{name}_s"] = round(sum(
                 s["t1"] - s["t0"]
                 for blob in run["blobs"]
@@ -595,6 +597,10 @@ class SweepTelemetry:
                          reuses=pool_reuses),
             "recovery": (dict(recovery) if recovery else None),
             "quarantined": int(quarantined),
+            # checkpoint restores / boot checkpoints resolved during
+            # this run (0 on cold runs; the report's "warm" column)
+            "restores": int(run["restores"]),
+            "checkpoints_saved": int(run["checkpoints_saved"]),
             "context": dict(self.context),
         }
         self.run_records.append(record)
@@ -625,6 +631,11 @@ class SweepTelemetry:
         ``recovery`` track (crash instant to respawn instant), and
         ``point_quarantined`` / ``point_timeout`` / ``point_failed``
         stream through for renderers and the progress log.
+        Warm-start events — ``checkpoint_saved`` (engine-side boot
+        materialization) and ``checkpoint_restored`` (a worker resumed
+        a point from a checkpoint) — bump the current run's counters,
+        which land on the run record as ``checkpoints_saved`` /
+        ``restores``.
         """
         event = dict(event)
         event.setdefault("ts", self._clock())
@@ -645,6 +656,10 @@ class SweepTelemetry:
                     state["current_key"] = event["key"]
             elif etype == "worker_crashed":
                 state["crashes"] = state.get("crashes", 0) + 1
+        if etype == "checkpoint_restored" and self._run is not None:
+            self._run["restores"] += 1
+        elif etype == "checkpoint_saved" and self._run is not None:
+            self._run["checkpoints_saved"] += 1
         if etype == "batch_done" and event.get("submit_ts") is not None:
             self.spans.add(
                 f"batch {event.get('batch')}", event["submit_ts"],

@@ -267,6 +267,68 @@ class RtlBusCore(Module):
         self.transactions_completed += 1
         port.done.notify()
 
+    # -- checkpoint/restore protocol (see repro.snapshot) ---------------------
+
+    def __snapshot_events__(self):
+        return tuple(port.done for port in self.ports)
+
+    def __snapshot__(self) -> dict:
+        from repro.snapshot.state import SnapshotError
+
+        # The pin-accurate core is only checkpointable bus-idle: the
+        # command unit and data engines hold live object tuples that
+        # cannot be serialized by name, so a mid-transaction capture is
+        # refused rather than approximated.
+        if self._cmd_current is not None or self._cmd_countdown:
+            raise SnapshotError(
+                f"rtl bus {self.full_name}: command phase in flight"
+            )
+        for engine in self._engines.values():
+            if engine.busy_cycles or engine.current is not None \
+                    or engine.queue:
+                raise SnapshotError(
+                    f"rtl bus {self.full_name}: data engine "
+                    f"{engine.name!r} busy"
+                )
+        for port in self.ports:
+            if port.req:
+                raise SnapshotError(
+                    f"rtl bus {self.full_name}: port {port.name!r} has a "
+                    "pending request"
+                )
+        return {
+            "cycles": self.cycles,
+            "transactions_completed": self.transactions_completed,
+            "next_seq": next(self._seq),
+            "arbiter": self.arbiter.snapshot_state(),
+            "engines": {
+                name: engine.total_busy
+                for name, engine in self._engines.items()
+            },
+            "ports": {
+                port.name: {"seq": port.seq,
+                            "transactions": port.transactions}
+                for port in self.ports
+            },
+        }
+
+    def __restore__(self, state: dict) -> None:
+        self.cycles = state["cycles"]
+        self.transactions_completed = state["transactions_completed"]
+        self._seq = itertools.count(state["next_seq"])
+        self.arbiter.restore_state(state["arbiter"])
+        for name, total_busy in state["engines"].items():
+            self._engines[name].total_busy = total_busy
+        by_name = {port.name: port for port in self.ports}
+        for name, payload in state["ports"].items():
+            port = by_name[name]
+            port.seq = payload["seq"]
+            port.transactions = payload["transactions"]
+            port.req = False
+            port.granted = False
+            port.request = None
+            port.response = None
+
     # -- reporting -------------------------------------------------------------------
 
     def utilization(self) -> float:

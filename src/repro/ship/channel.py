@@ -430,6 +430,79 @@ class ShipChannel(SimObject):
         ep.messages_sent += 1
         self._data_events[end.other].notify()
 
+    # -- checkpoint/restore protocol (see repro.snapshot) --------------------
+
+    def __snapshot_events__(self):
+        return (
+            self._data_events[ShipEnd.A], self._data_events[ShipEnd.B],
+            self._space_events[ShipEnd.A], self._space_events[ShipEnd.B],
+        )
+
+    def __snapshot__(self) -> dict:
+        from repro.snapshot.state import SnapshotError
+
+        if self._pending_replies:
+            raise SnapshotError(
+                f"ship channel {self.full_name}: "
+                f"{len(self._pending_replies)} request(s) awaiting replies "
+                "— not a checkpointable instant"
+            )
+        queues = {}
+        for end, queue in self._queues.items():
+            records = []
+            for msg in queue:
+                if msg.obj is not None:
+                    raise SnapshotError(
+                        f"ship channel {self.full_name}: zero-copy message "
+                        "in flight cannot be serialized"
+                    )
+                records.append({
+                    "kind": msg.kind,
+                    "data": msg.data.hex(),
+                    "txn_id": msg.txn_id,
+                    "nbytes": msg.nbytes,
+                    "sent_at_fs": msg.sent_at._fs,
+                })
+            queues[end.value] = records
+        return {
+            "queues": queues,
+            "endpoints": {
+                end.value: {
+                    "calls_used": sorted(ep.calls_used),
+                    "bytes_sent": ep.bytes_sent,
+                    "messages_sent": ep.messages_sent,
+                }
+                for end, ep in self._endpoints.items()
+            },
+            "unanswered": {
+                end.value: list(ids) for end, ids in self._unanswered.items()
+            },
+            "next_txn_id": next(self._txn_ids),
+            "replies_dropped": self.replies_dropped,
+        }
+
+    def __restore__(self, state: dict) -> None:
+        for end in ShipEnd:
+            queue = self._queues[end]
+            queue.clear()
+            for record in state["queues"][end.value]:
+                queue.append(_Message(
+                    record["kind"],
+                    bytes.fromhex(record["data"]),
+                    None,
+                    record["txn_id"],
+                    record["nbytes"],
+                    SimTime._from_fs(record["sent_at_fs"]),
+                ))
+            ep = self._endpoints[end]
+            payload = state["endpoints"][end.value]
+            ep.calls_used = set(payload["calls_used"])
+            ep.bytes_sent = payload["bytes_sent"]
+            ep.messages_sent = payload["messages_sent"]
+            self._unanswered[end] = deque(state["unanswered"][end.value])
+        self._txn_ids = itertools.count(state["next_txn_id"])
+        self.replies_dropped = state["replies_dropped"]
+
     # -- role detection ------------------------------------------------------------
 
     def detected_role(self, end: ShipEnd) -> Role:

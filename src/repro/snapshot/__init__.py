@@ -1,0 +1,45 @@
+"""``repro.snapshot`` — deterministic kernel checkpoint/restore.
+
+The capture side (:func:`capture_state`) serializes a quiescent
+:class:`~repro.kernel.context.SimContext` — scheduler heap, event
+trigger state, process wait records, and per-object state via the
+``__snapshot__``/``__restore__`` protocol — into one JSON-able dict.
+The restore side (:func:`restore_state`) replays that dict onto a
+*freshly built, structurally identical* context: objects reload their
+state, and thread processes are re-primed as replayable segments (a
+fresh generator is advanced to its first yield boundary against the
+restored channel state, then adopts the captured wait), so no frame
+pickling is ever needed.
+
+:class:`Checkpoint` adds the durable form: content-addressed digests
+(configuration key + sim time + code version) gate every reuse, so a
+checkpoint can only warm-start a simulation it provably matches.
+:class:`FaultReplay` restores a fault campaign to the instant before
+an injection instead of re-simulating the whole history.
+"""
+
+from repro.snapshot.state import (
+    SNAPSHOT_SCHEMA,
+    SnapshotError,
+    capture_state,
+    restore_state,
+)
+from repro.snapshot.checkpoint import (
+    SNAPSHOT_CODE_VERSION,
+    Checkpoint,
+    CheckpointError,
+    checkpoint_digest,
+)
+from repro.snapshot.replay import FaultReplay
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "FaultReplay",
+    "SNAPSHOT_CODE_VERSION",
+    "SNAPSHOT_SCHEMA",
+    "SnapshotError",
+    "capture_state",
+    "checkpoint_digest",
+    "restore_state",
+]

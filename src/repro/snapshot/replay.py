@@ -1,0 +1,99 @@
+"""Fault-campaign replay from checkpoints.
+
+Re-running a fault campaign usually means re-simulating the entire
+history just to reach the injection instant.  :class:`FaultReplay`
+instead checkpoints the model at a quiescent instant *before* the
+injection and restores from there, so the expensive prefix is simulated
+once and every replay variant pays only for the suffix.
+
+The class is built around a *builder* callable: each invocation must
+construct a fresh, structurally identical, un-run model and return
+``(ctx, extras)`` where ``extras`` maps names to non-SimObject state
+holders (typically ``{"fault_plan": plan}``) that participate in
+capture/restore.  Determinism of the builder is the caller's contract —
+the same contract the sweep cache already relies on.
+
+Quiescence is model-dependent: an instant in the middle of a bus
+transaction is not capturable (the requester waits on a transient
+per-transaction event), and :func:`capture_state` correctly refuses it.
+:meth:`checkpoint_before` therefore walks a caller-supplied ladder of
+candidate instants from the latest backwards and returns the first one
+that captures cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.kernel.simtime import SimTime
+from repro.snapshot.state import SnapshotError, capture_state, restore_state
+
+Builder = Callable[[], Tuple[Any, Dict[str, Any]]]
+
+
+class FaultReplay:
+    """Replay a deterministic fault campaign from a mid-run checkpoint."""
+
+    def __init__(self, builder: Builder):
+        self._builder = builder
+
+    def baseline(self, until: SimTime) -> Tuple[Any, Dict[str, Any]]:
+        """Run a fresh build uninterrupted to *until* (the reference)."""
+        ctx, extras = self._builder()
+        ctx.run(until=until)
+        return ctx, extras
+
+    def capture_at(self, when: SimTime) -> Dict[str, Any]:
+        """Run a fresh build to *when* and capture it.
+
+        Raises :class:`SnapshotError` when *when* is not a quiescent
+        instant for this model.
+        """
+        ctx, extras = self._builder()
+        ctx.run(until=when)
+        return capture_state(ctx, extras=extras)
+
+    def checkpoint_before(
+        self,
+        injection_fs: int,
+        candidates_fs: Iterable[int],
+    ) -> Tuple[Dict[str, Any], int]:
+        """Capture at the latest capturable candidate before an injection.
+
+        *injection_fs* is the femtosecond timestamp of the fault record
+        being replayed (``FaultRecord.now_fs``); *candidates_fs* is a
+        ladder of instants to try, e.g. multiples of the injection
+        period.  Returns ``(snapshot, chosen_fs)``.
+        """
+        tried: List[int] = []
+        for when_fs in sorted(
+            {c for c in candidates_fs if 0 <= c < injection_fs}, reverse=True
+        ):
+            tried.append(when_fs)
+            try:
+                return self.capture_at(SimTime(when_fs)), when_fs
+            except SnapshotError:
+                continue
+        raise SnapshotError(
+            f"no capturable instant before injection at {injection_fs} fs "
+            f"(tried {len(tried)} candidate(s))"
+        )
+
+    def replay(
+        self,
+        snapshot: Dict[str, Any],
+        until: SimTime,
+        mutate: Optional[Callable[[Any, Dict[str, Any]], None]] = None,
+    ) -> Tuple[Any, Dict[str, Any]]:
+        """Restore *snapshot* into a fresh build and run the suffix.
+
+        *mutate*, when given, is called with ``(ctx, extras)`` after the
+        restore but before the run — the hook point for replay variants
+        (tweak a fault rule, raise a threshold) that share the prefix.
+        """
+        ctx, extras = self._builder()
+        restore_state(ctx, snapshot, extras=extras)
+        if mutate is not None:
+            mutate(ctx, extras)
+        ctx.run(until=until)
+        return ctx, extras

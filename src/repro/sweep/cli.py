@@ -16,6 +16,15 @@ Examples::
         --ci-target 0.02 --max-replicates 8   # CI-backed ranking
     PYTHONPATH=src python -m repro.sweep --workload mixed --workers 2 \\
         --progress --telemetry /tmp/ledger --trace-out /tmp/trace.json
+    PYTHONPATH=src python -m repro.sweep --workload mixed --boot 16 \\
+        --warm-start --checkpoint-dir /tmp/ckpt  # checkpointed boot
+
+``--boot N`` prepends a deterministic warm-up phase to every point;
+``--warm-start`` then simulates each architecture family's boot
+exactly once, checkpoints it (:mod:`repro.snapshot`), and resumes
+every point of the family from the checkpoint — byte-identical
+results, boot cost paid once per family instead of once per point
+(see ``docs/checkpointing.md``).
 
 With ``--cache DIR`` results persist across invocations: an interrupted
 sweep resumes where it stopped, and a repeated sweep is served entirely
@@ -53,7 +62,7 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.kernel.simtime import ns, us
+from repro.kernel.simtime import ms, ns, us
 from repro.explore.space import ARBITERS, FABRICS, DesignSpace
 from repro.explore.workload import standard_workloads
 from repro.sweep.engine import (
@@ -221,6 +230,25 @@ def build_parser() -> argparse.ArgumentParser:
              "bit-identical (determinism gate)",
     )
     parser.add_argument(
+        "--boot", type=int, default=None, metavar="N",
+        help="prepend a boot phase: one warm-up master per workload "
+             "master drives N transactions before the measured phase "
+             "starts (boot traffic is part of each point's identity)",
+    )
+    parser.add_argument(
+        "--warm-start", action="store_true",
+        help="materialize one boot checkpoint per architecture family "
+             "and resume every point from it instead of simulating "
+             "the boot inline; results stay byte-identical to cold "
+             "runs (requires --boot)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        default="sweep_checkpoints",
+        help="directory boot checkpoints live in "
+             "(default: sweep_checkpoints)",
+    )
+    parser.add_argument(
         "--telemetry", metavar="DIR", default=None,
         help="enable sweep telemetry: write the run ledger "
              "(ledger.jsonl + per-run manifests) and the progress "
@@ -248,12 +276,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _boot_spec(specs, transactions: int):
+    """The :class:`~repro.explore.BootSpec` the ``--boot`` flag asks for.
+
+    One warm-up master per workload master (``boot_<name>``, same
+    region, pattern and priority, ``transactions`` transactions), with
+    the boot horizon at 1 ms — generous for any standard workload's
+    warm-up traffic, and free simulated time for the event-driven CAM
+    fabrics, which schedule nothing between the boot's completion and
+    the horizon.
+    """
+    from repro.explore import BootSpec
+    from repro.explore.workload import MasterTrafficSpec
+
+    boot_specs = [
+        MasterTrafficSpec(
+            name=f"boot_{s.name}", pattern=s.pattern, base=s.base,
+            size=s.size, burst_length=s.burst_length, gap=s.gap,
+            read_fraction=s.read_fraction, transactions=transactions,
+            priority=s.priority, word_bytes=s.word_bytes,
+        )
+        for s in specs
+    ]
+    return BootSpec(specs=boot_specs, until=ms(1))
+
+
 def _build_strategy(args, space, specs):
     """Instantiate the requested search strategy."""
     common = dict(
         workload=args.workload,
         max_sim_time=us(args.max_sim_time_us),
         seed=args.seed,
+        boot=(_boot_spec(specs, args.boot)
+              if args.boot is not None else None),
     )
     if args.strategy == "random":
         return RandomSearch(space, specs, samples=args.samples, **common)
@@ -385,6 +440,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if (args.max_point_seconds is not None
             and not args.max_point_seconds > 0):
         parser.error("--max-point-seconds must be positive")
+    if args.boot is not None and args.boot < 1:
+        parser.error("--boot must be >= 1")
+    if args.warm_start and args.boot is None:
+        parser.error("--warm-start requires --boot (there is no boot "
+                     "phase to checkpoint otherwise)")
     space = DesignSpace(
         fabrics=tuple(args.fabrics),
         arbiters=tuple(args.arbiters),
@@ -416,7 +476,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                      oversubscribe=oversubscribe,
                      telemetry=telemetry,
                      deadline_s=args.max_point_seconds,
-                     chaos=chaos) as engine:
+                     chaos=chaos,
+                     checkpoint_dir=(args.checkpoint_dir
+                                     if args.warm_start else None),
+                     warm_start=args.warm_start) as engine:
         wall_start = time.perf_counter()
         try:
             # The guard turns SIGINT/SIGTERM into SweepInterrupted so
@@ -436,6 +499,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                             key=lambda o: o.key)
         ]
         recovery = dict(engine.session_recovery) or None
+        warm_points = engine.session_warm_points
+        warm_families = engine.session_checkpoints
 
     if interrupted is not None:
         # Every completed point is already fsynced in the store; close
@@ -523,6 +588,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{engine.workers} worker(s) ({pool_spawns} spawned, "
         f"{pool_reuses} warm reuse(s)), {wall:.2f} s"
     )
+    if args.warm_start:
+        print(
+            f"warm start: {warm_families} boot checkpoint famil"
+            f"{'y' if warm_families == 1 else 'ies'} in "
+            f"{args.checkpoint_dir}, {warm_points} point(s) resumed "
+            f"from checkpoint"
+        )
     if recovery:
         print(
             f"recovery: {recovery.get('worker_crashes', 0)} crash(es), "

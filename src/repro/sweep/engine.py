@@ -46,6 +46,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.explore.runner import (
     ExplorationResult,
+    _error_marker,
     run_payload,
     run_payload_batch_telemetry,
     run_point,
@@ -54,7 +55,6 @@ from repro.sweep.points import SweepPoint
 from repro.sweep.pool import WorkerPool, resolve_workers
 from repro.sweep.recovery import (
     RecoveryPolicy,
-    failure_from_exception,
     quarantine_record,
 )
 from repro.sweep.store import SweepStore
@@ -217,7 +217,9 @@ class SweepEngine:
                  telemetry=None,
                  recovery: Optional[RecoveryPolicy] = None,
                  deadline_s: Optional[float] = None,
-                 chaos=None):
+                 chaos=None,
+                 checkpoint_dir: Optional[str] = None,
+                 warm_start: bool = False):
         self.workers = resolve_workers(workers)
         if oversubscribe < 1:
             raise ValueError("oversubscribe must be >= 1")
@@ -240,7 +242,29 @@ class SweepEngine:
         #: forwards worker events to it.  The engine does not own it —
         #: callers ``close()`` it after the last run.
         self.telemetry = telemetry
+        #: directory boot checkpoints are materialized into / loaded
+        #: from; required (with ``warm_start=True``) for warm-started
+        #: sweeps, ignored otherwise
+        self.checkpoint_dir = checkpoint_dir
+        #: warm-start pending points that carry a boot phase: the
+        #: engine materializes one boot checkpoint per checkpoint
+        #: family and workers resume each point from it instead of
+        #: simulating the boot inline.  Purely a transport/scheduling
+        #: optimization — results and content keys are unchanged.
+        self.warm_start = bool(warm_start)
+        if self.warm_start and self.checkpoint_dir is None:
+            raise ValueError("warm_start=True requires checkpoint_dir")
         self._pool: Optional[WorkerPool] = None
+        #: pending points annotated for warm start by the most recent
+        #: :meth:`run` (0 when warm start is off or no point has a boot)
+        self.last_warm_points = 0
+        #: boot-checkpoint families resolved (materialized or reused
+        #: from disk) by the most recent run
+        self.last_checkpoints_saved = 0
+        #: warm-started points / resolved families summed across this
+        #: engine's lifetime (the CLI summary line)
+        self.session_warm_points = 0
+        self.session_checkpoints = 0
         #: points served from cache by the most recent :meth:`run`
         self.last_cached = 0
         #: points freshly simulated by the most recent :meth:`run`
@@ -370,6 +394,9 @@ class SweepEngine:
         pending_keys = list(pending)
         payloads = [points[pending[k][0]].to_payload()
                     for k in pending_keys]
+        if self.warm_start and payloads:
+            self._annotate_warm_starts(points, pending, pending_keys,
+                                       payloads, telemetry)
         if telemetry is not None:
             telemetry.cache_resolved(
                 cached=sum(1 for o in outcomes if o is not None),
@@ -493,6 +520,64 @@ class SweepEngine:
             )
         return outcomes
 
+    def _annotate_warm_starts(self, points, pending, pending_keys,
+                              payloads, telemetry) -> None:
+        """Materialize boot checkpoints and tag pending payloads.
+
+        One checkpoint per *checkpoint family*
+        (:meth:`~repro.sweep.points.SweepPoint.family_key`), simulated
+        inline in the engine process and content-addressed into
+        :attr:`checkpoint_dir` (a file already on disk is reused as-is).
+        Every pending payload of the family is then annotated with the
+        warm-start transport key — *after* content keys were computed,
+        so warm and cold runs share keys, caches and reports.  A family
+        whose checkpoint cannot be materialized (boot does not finish,
+        directory unwritable, ...) falls back to cold simulation for
+        all its points rather than failing the sweep.
+        """
+        from repro.explore.runner import (
+            WARM_START_KEY,
+            materialize_boot_checkpoint,
+        )
+
+        self.last_warm_points = 0
+        self.last_checkpoints_saved = 0
+        families: Dict[str, Optional[dict]] = {}
+        for key, payload in zip(pending_keys, payloads):
+            family = points[pending[key][0]].family_key()
+            if family is None:
+                continue
+            if family not in families:
+                try:
+                    digest = materialize_boot_checkpoint(
+                        payload, self.checkpoint_dir, family)
+                except Exception as exc:
+                    families[family] = None
+                    if telemetry is not None:
+                        telemetry.on_worker_event({
+                            "type": "checkpoint_failed",
+                            "worker_id": "engine",
+                            "family": family[:16],
+                            "error_type": type(exc).__name__,
+                        })
+                    continue
+                families[family] = {"dir": self.checkpoint_dir,
+                                    "digest": digest}
+                self.last_checkpoints_saved += 1
+                if telemetry is not None:
+                    telemetry.on_worker_event({
+                        "type": "checkpoint_saved",
+                        "worker_id": "engine",
+                        "family": family[:16],
+                        "digest": digest,
+                    })
+            warm = families[family]
+            if warm is not None:
+                payload[WARM_START_KEY] = dict(warm)
+                self.last_warm_points += 1
+        self.session_warm_points += self.last_warm_points
+        self.session_checkpoints += self.last_checkpoints_saved
+
     def _run_inline(self, payloads, pending_keys, telemetry):
         """Serial compute path with the same retry/quarantine contract.
 
@@ -526,9 +611,10 @@ class SweepEngine:
                         result = run_payload(payload)
                         break
                     except Exception as exc:
-                        result = {"__sweep_error__":
-                                  failure_from_exception(
-                                      exc, attempts=attempt)}
+                        # Same kind classification as a pooled worker
+                        # (restore failures tag ``kind="restore"``).
+                        result = _error_marker(exc)
+                        result["__sweep_error__"]["attempts"] = attempt
             result_dicts.append(result)
         return result_dicts
 

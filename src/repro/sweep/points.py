@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 from repro.kernel.simtime import SimTime, us
-from repro.explore.runner import FaultSpec
+from repro.explore.runner import BootSpec, FaultSpec, point_regions
 from repro.explore.space import ArchitectureConfig
 from repro.explore.workload import MasterTrafficSpec
 
@@ -52,6 +52,10 @@ class SweepPoint:
     #: export per-transaction latency series on the result — changes
     #: the cached payload shape, so it is part of the identity too
     record_series: bool = False
+    #: optional boot (warm-up) phase; boot traffic shifts the measured
+    #: phase past the boot horizon, so it is part of the identity when
+    #: set — and absent from it when None, keeping pre-boot keys stable
+    boot: Optional[BootSpec] = None
 
     def __post_init__(self):
         # Tolerate lists from callers; the tuple keeps the point hashable.
@@ -62,8 +66,16 @@ class SweepPoint:
         """The canonical JSON-able identity the content key hashes.
 
         Everything that can change the simulated outcome appears here;
-        nothing cosmetic does.
+        nothing cosmetic does.  The ``boot`` key is emitted only when a
+        boot phase is set, so bootless points keep their historical
+        keys (and cached results) byte-for-byte.
         """
+        if self.boot is not None:
+            return dict(self._base_identity(),
+                        boot=self.boot.to_dict())
+        return self._base_identity()
+
+    def _base_identity(self) -> dict:
         return {
             "version": CODE_VERSION,
             "config": self.config.cache_key(),
@@ -95,8 +107,10 @@ class SweepPoint:
 
         Unlike :meth:`identity` this keeps the full config dict
         (including the label, which the result's readable name needs).
+        The ``boot`` key is emitted only when set, so bootless payloads
+        keep their historical shape.
         """
-        return {
+        payload = {
             "config": self.config.to_dict(),
             "specs": [spec.to_dict() for spec in self.specs],
             "workload": self.workload,
@@ -109,11 +123,46 @@ class SweepPoint:
             "rng_streams": self.rng_streams,
             "record_series": self.record_series,
         }
+        if self.boot is not None:
+            payload["boot"] = self.boot.to_dict()
+        return payload
+
+    def family_key(self) -> Optional[str]:
+        """Checkpoint-family content key; None for bootless points.
+
+        Points sharing a family key boot through *identical* simulations
+        up to the boot horizon, so one boot checkpoint warm-starts all
+        of them.  The key hashes exactly the facts the boot phase
+        depends on: code version, the architecture's behavioural
+        ``cache_key``, the boot workload, seed and RNG discipline, the
+        fault spec (fault RNG draws happen during boot too), memory
+        wait states, and the point's full region footprint — measured
+        regions shape the memory roster the boot context is built with,
+        so two points with different regions never share a checkpoint.
+        """
+        if self.boot is None:
+            return None
+        identity = {
+            "version": CODE_VERSION,
+            "config": self.config.cache_key(),
+            "boot": self.boot.to_dict(),
+            "seed": self.seed,
+            "faults": None if self.faults is None
+            else self.faults.to_dict(),
+            "memory_read_wait": self.memory_read_wait,
+            "memory_write_wait": self.memory_write_wait,
+            "rng_streams": self.rng_streams,
+            "regions": point_regions(self.specs, self.boot),
+        }
+        text = json.dumps(identity, sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
     @classmethod
     def from_payload(cls, payload: dict) -> "SweepPoint":
         """Rebuild a point from :meth:`to_payload` output."""
         faults = payload.get("faults")
+        boot = payload.get("boot")
         return cls(
             config=ArchitectureConfig.from_dict(payload["config"]),
             specs=tuple(
@@ -127,6 +176,7 @@ class SweepPoint:
             memory_write_wait=payload["memory_write_wait"],
             rng_streams=payload.get("rng_streams", False),
             record_series=payload.get("record_series", False),
+            boot=None if boot is None else BootSpec.from_dict(boot),
         )
 
 
@@ -137,11 +187,13 @@ def points_for_space(
     max_sim_time: Optional[SimTime] = None,
     seed: int = 1,
     faults: Optional[FaultSpec] = None,
+    boot: Optional[BootSpec] = None,
 ) -> list:
     """One :class:`SweepPoint` per config in ``space``, in space order."""
     bound = us(10_000) if max_sim_time is None else max_sim_time
     return [
         SweepPoint(config=config, specs=tuple(specs), workload=workload,
-                   max_sim_time=bound, seed=seed, faults=faults)
+                   max_sim_time=bound, seed=seed, faults=faults,
+                   boot=boot)
         for config in space
     ]

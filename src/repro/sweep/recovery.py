@@ -234,6 +234,21 @@ def failure_from_exception(exc: BaseException,
     }
 
 
+def failure_from_restore(exc: BaseException,
+                         attempts: int = 1) -> dict:
+    """Canonical failure dict for a point that failed *during restore*.
+
+    Same shape as :func:`failure_from_exception` but tagged
+    ``kind="restore"`` — a checkpoint that is corrupt, incompatible, or
+    refuses to overlay is an infrastructure fault of the warm-start
+    path, not a model bug, and reports/resume logic distinguish the two
+    (a restore-quarantined point is safe to re-run cold).
+    """
+    failure = failure_from_exception(exc, attempts=attempts)
+    failure["kind"] = "restore"
+    return failure
+
+
 def failure_from_loss(kind: str, message: str,
                       attempts: int) -> dict:
     """Canonical failure dict for a crash- or timeout-lost point.

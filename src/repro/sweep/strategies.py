@@ -65,10 +65,11 @@ class GridSearch:
     def __init__(self, space, specs: Sequence[MasterTrafficSpec],
                  workload: str = "workload",
                  max_sim_time: Optional[SimTime] = None,
-                 seed: int = 1, faults: Optional[FaultSpec] = None):
+                 seed: int = 1, faults: Optional[FaultSpec] = None,
+                 boot=None):
         self.points = points_for_space(
             space, specs, workload=workload, max_sim_time=max_sim_time,
-            seed=seed, faults=faults,
+            seed=seed, faults=faults, boot=boot,
         )
 
     def run(self, engine: SweepEngine,
@@ -91,7 +92,8 @@ class RandomSearch:
     def __init__(self, space, specs: Sequence[MasterTrafficSpec],
                  samples: int, workload: str = "workload",
                  max_sim_time: Optional[SimTime] = None,
-                 seed: int = 1, faults: Optional[FaultSpec] = None):
+                 seed: int = 1, faults: Optional[FaultSpec] = None,
+                 boot=None):
         if samples < 1:
             raise ValueError("samples must be >= 1")
         configs = list(space)
@@ -102,7 +104,7 @@ class RandomSearch:
             configs = rng.sample(configs, samples)
         self.points = points_for_space(
             configs, specs, workload=workload, max_sim_time=max_sim_time,
-            seed=seed, faults=faults,
+            seed=seed, faults=faults, boot=boot,
         )
 
     def run(self, engine: SweepEngine,
@@ -133,7 +135,8 @@ class SuccessiveHalving:
                  workload: str = "workload",
                  max_sim_time: Optional[SimTime] = None,
                  seed: int = 1, faults: Optional[FaultSpec] = None,
-                 eta: int = 2, screen_fraction: float = 0.25):
+                 eta: int = 2, screen_fraction: float = 0.25,
+                 boot=None):
         if eta < 2:
             raise ValueError("eta must be >= 2")
         if not 0.0 < screen_fraction <= 1.0:
@@ -142,7 +145,7 @@ class SuccessiveHalving:
         self.screen_fraction = screen_fraction
         self.full_points = points_for_space(
             space, specs, workload=workload, max_sim_time=max_sim_time,
-            seed=seed, faults=faults,
+            seed=seed, faults=faults, boot=boot,
         )
         short_specs = tuple(s.scaled(screen_fraction) for s in specs)
         self.screen_points = [
@@ -153,6 +156,7 @@ class SuccessiveHalving:
                 memory_write_wait=p.memory_write_wait,
                 rng_streams=p.rng_streams,
                 record_series=p.record_series,
+                boot=p.boot,
             )
             for p in self.full_points
         ]

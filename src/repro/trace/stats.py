@@ -114,6 +114,24 @@ class OnlineStats:
         merged.maximum = max(maxs) if maxs else None
         return merged
 
+    def __snapshot__(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "total": self.total,
+        }
+
+    def __restore__(self, state: dict) -> None:
+        self.count = state["count"]
+        self._mean = state["mean"]
+        self._m2 = state["m2"]
+        self.minimum = state["minimum"]
+        self.maximum = state["maximum"]
+        self.total = state["total"]
+
     def __repr__(self) -> str:
         return (
             f"OnlineStats(n={self.count}, mean={self.mean:.4g}, "
@@ -163,6 +181,12 @@ class TimeStats:
         """Summed duration in nanoseconds."""
         return self._stats.total
 
+    def __snapshot__(self) -> dict:
+        return self._stats.__snapshot__()
+
+    def __restore__(self, state: dict) -> None:
+        self._stats.__restore__(state)
+
     def __repr__(self) -> str:
         return (
             f"TimeStats(n={self.count}, mean={self.mean_ns:.2f} ns, "
@@ -211,6 +235,18 @@ class Histogram:
             for i in range(self.bins)
         ]
 
+    def __snapshot__(self) -> dict:
+        return {
+            "counts": list(self.counts),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+        }
+
+    def __restore__(self, state: dict) -> None:
+        self.counts = list(state["counts"])
+        self.underflow = state["underflow"]
+        self.overflow = state["overflow"]
+
     def quantile(self, q: float) -> float:
         """Approximate quantile from binned data (midpoint rule)."""
         if not 0.0 <= q <= 1.0:
@@ -249,6 +285,22 @@ class ThroughputMeter:
         if self.start_time is None or self.end_time is None:
             return ZERO_TIME
         return self.end_time - self.start_time
+
+    def __snapshot__(self) -> dict:
+        return {
+            "bytes": self.bytes,
+            "transactions": self.transactions,
+            "start_fs": None if self.start_time is None
+            else self.start_time._fs,
+            "end_fs": None if self.end_time is None else self.end_time._fs,
+        }
+
+    def __restore__(self, state: dict) -> None:
+        self.bytes = state["bytes"]
+        self.transactions = state["transactions"]
+        start, end = state["start_fs"], state["end_fs"]
+        self.start_time = None if start is None else SimTime._from_fs(start)
+        self.end_time = None if end is None else SimTime._from_fs(end)
 
     def bytes_per_second(self) -> float:
         """Byte rate over the active window."""
